@@ -1,0 +1,75 @@
+// Command gltconv converts layouts between the repository's GLT text
+// format and the industry GDSII stream format, in either direction
+// (chosen from the file extensions).
+//
+// Usage:
+//
+//	gltconv -in chip.glt -out chip.gds
+//	gltconv -in design.gds -out design.glt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	hsd "github.com/golitho/hsd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gltconv:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "input layout (.glt or .gds)")
+	out := flag.String("out", "", "output layout (.glt or .gds)")
+	flag.Parse()
+	if *in == "" || *out == "" {
+		return fmt.Errorf("both -in and -out are required")
+	}
+
+	src, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+
+	var l *hsd.Layout
+	switch {
+	case strings.HasSuffix(*in, ".gds") || strings.HasSuffix(*in, ".gdsii"):
+		l, err = hsd.ReadGDSII(src)
+	case strings.HasSuffix(*in, ".glt"):
+		l, err = hsd.ReadLayout(src)
+	default:
+		return fmt.Errorf("unknown input extension on %q (want .glt or .gds)", *in)
+	}
+	if err != nil {
+		return fmt.Errorf("read %s: %w", *in, err)
+	}
+
+	dst, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	switch {
+	case strings.HasSuffix(*out, ".gds") || strings.HasSuffix(*out, ".gdsii"):
+		err = hsd.WriteGDSII(dst, l)
+	case strings.HasSuffix(*out, ".glt"):
+		err = hsd.WriteLayout(dst, l)
+	default:
+		return fmt.Errorf("unknown output extension on %q (want .glt or .gds)", *out)
+	}
+	if err != nil {
+		return fmt.Errorf("write %s: %w", *out, err)
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("converted %s (%d shapes) -> %s\n", *in, l.NumShapes(), *out)
+	return nil
+}

@@ -1,0 +1,115 @@
+// Command hsdeval runs the survey's detector zoo across a benchmark suite
+// and prints the reconstructed evaluation tables (Tables I-IV and the
+// figure data; see DESIGN.md §3).
+//
+// Usage:
+//
+//	hsdeval -suite suite.gob                  # evaluate a cached suite
+//	hsdeval -seed 1 -small                    # generate on the fly
+//	hsdeval -suite suite.gob -figures -bench B1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	hsd "github.com/golitho/hsd"
+	"github.com/golitho/hsd/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hsdeval:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	suitePath := flag.String("suite", "", "suite gob file (empty = generate)")
+	seed := flag.Int64("seed", 1, "generation seed when -suite is empty")
+	small := flag.Bool("small", false, "generate the miniature suite")
+	figures := flag.Bool("figures", false, "also regenerate figure data (slower)")
+	figBench := flag.String("bench", "", "benchmark for figures (default: first)")
+	noODST := flag.Bool("no-odst", false, "skip lithography verification of flagged clips")
+	flag.Parse()
+
+	suite, err := loadOrGenerate(*suitePath, *seed, *small)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.BenchStats(suite))
+
+	var sim *hsd.Simulator
+	if !*noODST {
+		sim, err = hsd.NewSimulator(hsd.DefaultSimConfig())
+		if err != nil {
+			return err
+		}
+	}
+
+	zoo := hsd.SurveyZoo(*seed)
+	t0 := time.Now()
+	results, err := experiments.RunZoo(suite, zoo, sim)
+	if err != nil {
+		return err
+	}
+	shallowSpecs, deepSpecs := experiments.SplitZoo(zoo)
+	shallow := results[:len(shallowSpecs)]
+	deep := results[len(shallowSpecs) : len(shallowSpecs)+len(deepSpecs)]
+	fmt.Println(experiments.DetectorTable("Table II: shallow detectors", suite, shallow))
+	fmt.Println(experiments.DetectorTable("Table III: deep detectors", suite, deep))
+	fmt.Println(experiments.Summary(results))
+	fmt.Printf("zoo evaluation took %v\n\n", time.Since(t0).Round(time.Second))
+
+	if *figures {
+		bench := *figBench
+		if bench == "" {
+			bench = suite.Benchmarks[0].Name
+		}
+		roc, err := experiments.ROCFig(suite, bench, results)
+		if err != nil {
+			return err
+		}
+		fmt.Println(roc)
+		bias, err := experiments.BiasSweep(suite, bench, *seed, []float64{0, 0.1, 0.2, 0.3, 0.4})
+		if err != nil {
+			return err
+		}
+		fmt.Println(bias)
+		imb, err := experiments.ImbalanceSweep(suite, bench, *seed, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Println(imb)
+		conv, err := experiments.Convergence(suite, bench, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(conv)
+		odst, err := experiments.ODSTScaling(suite, *seed, []int{8192, 16384, 32768})
+		if err != nil {
+			return err
+		}
+		fmt.Println(odst)
+	}
+	return nil
+}
+
+func loadOrGenerate(path string, seed int64, small bool) (*hsd.Suite, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return hsd.LoadSuite(f)
+	}
+	cfg := hsd.DefaultSuiteConfig(seed)
+	if small {
+		cfg = hsd.SmallSuiteConfig(seed)
+	}
+	fmt.Println("generating suite (use benchgen + -suite to cache)...")
+	return hsd.GenerateSuite(cfg)
+}

@@ -1,0 +1,151 @@
+// Command hsdscan runs full-chip hotspot scanning: it trains a zoo
+// detector on a benchmark and slides it across a chip layout, printing
+// the flagged windows (optionally verified with lithography simulation).
+//
+// Usage:
+//
+//	hsdscan -suite suite.gob -bench B1 -detector AdaBoost -gen-edge 32768
+//	hsdscan -suite suite.gob -chip chip.glt -detector CNN-biased -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	hsd "github.com/golitho/hsd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hsdscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	suitePath := flag.String("suite", "suite.gob", "suite gob file for training")
+	benchName := flag.String("bench", "", "training benchmark (default: first)")
+	detName := flag.String("detector", "AdaBoost", "zoo detector name")
+	chipPath := flag.String("chip", "", "chip layout in GLT format (empty = generate)")
+	genEdge := flag.Int("gen-edge", 16384, "generated chip edge in nm when -chip is empty")
+	genSeed := flag.Int64("gen-seed", 42, "generated chip seed")
+	seed := flag.Int64("seed", 1, "training seed")
+	verify := flag.Bool("verify", false, "verify findings with lithography simulation")
+	topN := flag.Int("top", 20, "print at most this many findings")
+	flag.Parse()
+
+	f, err := os.Open(*suitePath)
+	if err != nil {
+		return err
+	}
+	suite, err := hsd.LoadSuite(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var bench *hsd.Benchmark
+	for i := range suite.Benchmarks {
+		if *benchName == "" || suite.Benchmarks[i].Name == *benchName {
+			bench = &suite.Benchmarks[i]
+			break
+		}
+	}
+	if bench == nil {
+		return fmt.Errorf("benchmark %q not found", *benchName)
+	}
+
+	var spec *hsd.DetectorSpec
+	for _, s := range hsd.SurveyZoo(*seed) {
+		if strings.EqualFold(s.Name, *detName) {
+			sc := s
+			spec = &sc
+			break
+		}
+	}
+	if spec == nil {
+		return fmt.Errorf("detector %q not in zoo", *detName)
+	}
+
+	var chip *hsd.Layout
+	if *chipPath != "" {
+		cf, err := os.Open(*chipPath)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(*chipPath, ".gds") || strings.HasSuffix(*chipPath, ".gdsii") {
+			chip, err = hsd.ReadGDSII(cf)
+		} else {
+			chip, err = hsd.ReadLayout(cf)
+		}
+		cf.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		chip, err = hsd.GenerateChip(*genSeed, *genEdge, hsd.DefaultPatternStyle())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generated %d x %d nm chip with %d shapes\n",
+			*genEdge, *genEdge, chip.NumShapes())
+	}
+
+	det := spec.New()
+	t0 := time.Now()
+	train := hsd.AugmentMinority(hsd.FromSamples(bench.Train.Samples), spec.Augment)
+	if err := det.Fit(train); err != nil {
+		return err
+	}
+	fmt.Printf("trained %s on %s in %v\n", det.Name(), bench.Name, time.Since(t0).Round(time.Millisecond))
+
+	t1 := time.Now()
+	findings, err := hsd.Scan(chip, det, hsd.ScanConfig{SkipEmpty: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scan flagged %d windows in %v\n", len(findings), time.Since(t1).Round(time.Millisecond))
+
+	var sim *hsd.Simulator
+	if *verify {
+		sim, err = hsd.NewSimulator(hsd.DefaultSimConfig())
+		if err != nil {
+			return err
+		}
+	}
+	confirmed := 0
+	for i, fd := range findings {
+		if i >= *topN {
+			fmt.Printf("... %d more\n", len(findings)-*topN)
+			break
+		}
+		line := fmt.Sprintf("%3d. center=%v score=%.3f", i+1, fd.Center, fd.Score)
+		if sim != nil {
+			clip, err := chip.ClipAt(fd.Center, 1024, 0.5)
+			if err != nil {
+				return err
+			}
+			res, err := sim.Simulate(clip)
+			if err != nil {
+				return err
+			}
+			line += fmt.Sprintf("  verified=%v defects=%d", res.Hotspot, len(res.Defects))
+			if res.Hotspot {
+				confirmed++
+			}
+		}
+		fmt.Println(line)
+	}
+	if sim != nil {
+		n := len(findings)
+		if n > *topN {
+			n = *topN
+		}
+		if n > 0 {
+			fmt.Printf("verified precision over printed findings: %d/%d\n", confirmed, n)
+		}
+	}
+	return nil
+}

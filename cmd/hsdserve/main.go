@@ -1,0 +1,97 @@
+// Command hsdserve trains a zoo detector on a benchmark suite and serves
+// it over HTTP: physical-verification flows POST layout clips (GLT
+// format) to /score and get JSON hotspot verdicts; /verify runs the full
+// lithography oracle on demand.
+//
+// Usage:
+//
+//	hsdserve -suite suite.gob -bench B1 -detector AdaBoost -addr :8080
+//
+//	curl -s --data-binary @clip.glt localhost:8080/score
+//	curl -s --data-binary @clip.glt localhost:8080/verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	hsd "github.com/golitho/hsd"
+	"github.com/golitho/hsd/internal/lithosim"
+	"github.com/golitho/hsd/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hsdserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	suitePath := flag.String("suite", "suite.gob", "suite gob file for training")
+	benchName := flag.String("bench", "", "training benchmark (default: first)")
+	detName := flag.String("detector", "AdaBoost", "zoo detector name")
+	seed := flag.Int64("seed", 1, "training seed")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	f, err := os.Open(*suitePath)
+	if err != nil {
+		return err
+	}
+	suite, err := hsd.LoadSuite(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var bench *hsd.Benchmark
+	for i := range suite.Benchmarks {
+		if *benchName == "" || suite.Benchmarks[i].Name == *benchName {
+			bench = &suite.Benchmarks[i]
+			break
+		}
+	}
+	if bench == nil {
+		return fmt.Errorf("benchmark %q not found", *benchName)
+	}
+	var spec *hsd.DetectorSpec
+	for _, s := range hsd.SurveyZoo(*seed) {
+		if strings.EqualFold(s.Name, *detName) {
+			sc := s
+			spec = &sc
+			break
+		}
+	}
+	if spec == nil {
+		return fmt.Errorf("detector %q not in zoo", *detName)
+	}
+
+	det := spec.New()
+	t0 := time.Now()
+	train := hsd.AugmentMinority(hsd.FromSamples(bench.Train.Samples), spec.Augment)
+	if err := det.Fit(train); err != nil {
+		return err
+	}
+	log.Printf("trained %s on %s in %v", det.Name(), bench.Name, time.Since(t0).Round(time.Millisecond))
+
+	sim, err := lithosim.New(lithosim.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(det, sim, suite.Config.ClipNM, suite.Config.CoreFrac)
+	if err != nil {
+		return err
+	}
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving hotspot detection on %s (POST /score, POST /verify)", *addr)
+	return httpServer.ListenAndServe()
+}

@@ -1,0 +1,114 @@
+// Command hsdtrain trains one detector from the survey zoo on one
+// benchmark and reports the contest metrics. Neural detectors can be
+// saved for later scanning.
+//
+// Usage:
+//
+//	hsdtrain -suite suite.gob -bench B1 -detector CNN-biased -save cnn.gob
+//	hsdtrain -suite suite.gob -bench B3 -detector AdaBoost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	hsd "github.com/golitho/hsd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hsdtrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	suitePath := flag.String("suite", "suite.gob", "suite gob file")
+	benchName := flag.String("bench", "", "benchmark name (default: first)")
+	detName := flag.String("detector", "CNN-biased", "zoo detector name")
+	seed := flag.Int64("seed", 1, "training seed")
+	save := flag.String("save", "", "save the trained network (neural detectors only)")
+	flag.Parse()
+
+	f, err := os.Open(*suitePath)
+	if err != nil {
+		return err
+	}
+	suite, err := hsd.LoadSuite(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	var bench *hsd.Benchmark
+	for i := range suite.Benchmarks {
+		if *benchName == "" || suite.Benchmarks[i].Name == *benchName {
+			bench = &suite.Benchmarks[i]
+			break
+		}
+	}
+	if bench == nil {
+		return fmt.Errorf("benchmark %q not found", *benchName)
+	}
+
+	var spec *hsd.DetectorSpec
+	var names []string
+	for _, s := range hsd.SurveyZoo(*seed) {
+		names = append(names, s.Name)
+		if strings.EqualFold(s.Name, *detName) {
+			sc := s
+			spec = &sc
+			break
+		}
+	}
+	if spec == nil {
+		return fmt.Errorf("detector %q not in zoo (have: %s)", *detName, strings.Join(names, ", "))
+	}
+
+	sim, err := hsd.NewSimulator(hsd.DefaultSimConfig())
+	if err != nil {
+		return err
+	}
+	det := spec.New()
+	t0 := time.Now()
+	res, err := hsd.Evaluate(det, bench.Name,
+		hsd.FromSamples(bench.Train.Samples), hsd.FromSamples(bench.Test.Samples),
+		hsd.EvalOptions{Sim: sim, Augment: spec.Augment})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detector   %s (%s)\n", spec.Name, det.Name())
+	fmt.Printf("benchmark  %s\n", bench.Name)
+	fmt.Printf("accuracy   %.1f%%\n", 100*res.Accuracy())
+	fmt.Printf("falsealarm %d\n", res.FalseAlarms())
+	fmt.Printf("precision  %.3f  F1 %.3f  AUC %.3f\n",
+		res.Confusion.Precision(), res.Confusion.F1(), res.AUC)
+	fmt.Printf("train %v  infer %v  ODST %v  full-sim %v (%.1fx speedup)\n",
+		res.TrainTime.Round(time.Millisecond), res.InferTime.Round(time.Millisecond),
+		res.ODST().Round(time.Millisecond), res.FullSimTime.Round(time.Millisecond),
+		res.Speedup())
+	fmt.Printf("total %v\n", time.Since(t0).Round(time.Millisecond))
+
+	if *save != "" {
+		nd, ok := det.(*hsd.NeuralDetector)
+		if !ok {
+			return fmt.Errorf("detector %s is not a neural detector; cannot save", spec.Name)
+		}
+		out, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := hsd.SaveNetwork(out, nd); err != nil {
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved network to %s\n", *save)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+// Command lithoview renders a layout window as a PNG: the drawn mask in
+// gray, the simulated printed contour in green, and process-window defect
+// locations as red markers. The visual counterpart of the oracle.
+//
+// Usage:
+//
+//	lithoview -chip chip.glt -cx 4096 -cy 4096 -out clip.png
+//	lithoview -gen-seed 7 -cx 2048 -cy 2048 -out clip.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+	"strings"
+
+	hsd "github.com/golitho/hsd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lithoview:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	chipPath := flag.String("chip", "", "layout file (.glt or .gds); empty = generate")
+	genSeed := flag.Int64("gen-seed", 7, "generated chip seed when -chip is empty")
+	cx := flag.Int("cx", 2048, "window centre x (nm)")
+	cy := flag.Int("cy", 2048, "window centre y (nm)")
+	out := flag.String("out", "clip.png", "output PNG")
+	scale := flag.Int("scale", 4, "pixels per raster cell")
+	flag.Parse()
+
+	var chip *hsd.Layout
+	var err error
+	if *chipPath != "" {
+		f, err2 := os.Open(*chipPath)
+		if err2 != nil {
+			return err2
+		}
+		defer f.Close()
+		if strings.HasSuffix(*chipPath, ".gds") {
+			chip, err = hsd.ReadGDSII(f)
+		} else {
+			chip, err = hsd.ReadLayout(f)
+		}
+	} else {
+		chip, err = hsd.GenerateChip(*genSeed, 8192, hsd.DefaultPatternStyle())
+	}
+	if err != nil {
+		return err
+	}
+
+	clip, err := chip.ClipAt(hsd.Pt(*cx, *cy), 1024, 0.5)
+	if err != nil {
+		return err
+	}
+	sim, err := hsd.NewSimulator(hsd.DefaultSimConfig())
+	if err != nil {
+		return err
+	}
+	res, err := sim.Simulate(clip)
+	if err != nil {
+		return err
+	}
+	img, err := Render(sim, clip, res, *scale)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := png.Encode(f, img); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("window at (%d,%d): hotspot=%v, %d defects -> %s\n",
+		*cx, *cy, res.Hotspot, len(res.Defects), *out)
+	return nil
+}
+
+// Render draws the drawn mask, the nominal printed contour, and defect
+// markers into an RGBA image at the given magnification.
+func Render(sim *hsd.Simulator, clip hsd.Clip, res hsd.SimResult, scale int) (*image.RGBA, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	const px = 8
+	mask, err := hsd.RasterizeClip(clip, px)
+	if err != nil {
+		return nil, err
+	}
+	aerial := sim.AerialImage(mask)
+	printed := aerial.Threshold(0.5)
+
+	img := image.NewRGBA(image.Rect(0, 0, mask.W*scale, mask.H*scale))
+	var (
+		bg      = color.RGBA{18, 18, 24, 255}
+		drawn   = color.RGBA{110, 110, 130, 255}
+		print   = color.RGBA{60, 200, 90, 255}
+		overlap = color.RGBA{170, 230, 170, 255}
+		defect  = color.RGBA{240, 60, 60, 255}
+	)
+	for y := 0; y < mask.H; y++ {
+		for x := 0; x < mask.W; x++ {
+			c := bg
+			isDrawn := mask.At(x, y) >= 0.5
+			isPrinted := printed.At(x, y) != 0
+			switch {
+			case isDrawn && isPrinted:
+				c = overlap
+			case isDrawn:
+				c = drawn
+			case isPrinted:
+				c = print
+			}
+			fill(img, x, mask.H-1-y, scale, c) // flip y: layout up = image up
+		}
+	}
+	// Defect markers: small crosses.
+	for _, d := range res.Defects {
+		dx := (d.At.X - clip.Window.Min.X) / px
+		dy := (d.At.Y - clip.Window.Min.Y) / px
+		for t := -3; t <= 3; t++ {
+			fill(img, dx+t, mask.H-1-dy, scale, defect)
+			fill(img, dx, mask.H-1-(dy+t), scale, defect)
+		}
+	}
+	return img, nil
+}
+
+func fill(img *image.RGBA, x, y, scale int, c color.RGBA) {
+	for dy := 0; dy < scale; dy++ {
+		for dx := 0; dx < scale; dx++ {
+			px, py := x*scale+dx, y*scale+dy
+			if image.Pt(px, py).In(img.Rect) {
+				img.SetRGBA(px, py, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Lithosim: drive the lithography oracle directly — build two layout
+// patterns (one safe, one aggressive), render their aerial images as
+// ASCII art, and show how process corners turn tight geometry into
+// bridge/neck defects. This is the physics every detector in this
+// repository is trying to approximate.
+//
+// Run with:
+//
+//	go run ./examples/lithosim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hsd "github.com/golitho/hsd"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sim, err := hsd.NewSimulator(hsd.DefaultSimConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show(sim, "safe pair: two 100 nm lines, 120 nm apart", [][4]int{
+		{0, 380, 1024, 480},
+		{0, 600, 1024, 700},
+	})
+	show(sim, "hotspot pair: two 100 nm lines, 36 nm apart", [][4]int{
+		{0, 400, 1024, 500},
+		{0, 536, 1024, 636},
+	})
+	show(sim, "hotspot: 48 nm line (below the resolution limit)", [][4]int{
+		{0, 488, 1024, 536},
+	})
+}
+
+func show(sim *hsd.Simulator, title string, rects [][4]int) {
+	l := hsd.NewLayout("demo")
+	for _, r := range rects {
+		if err := l.AddRect(hsd.R(r[0], r[1], r[2], r[3])); err != nil {
+			log.Fatal(err)
+		}
+	}
+	clip, err := l.ClipAt(hsd.Pt(512, 512), 1024, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Simulate(clip)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== %s ===\n", title)
+	fmt.Printf("hotspot: %v   PV band: %.0f nm^2\n", res.Hotspot, res.PVBandArea)
+	for _, d := range res.Defects {
+		fmt.Printf("  defect: %-6s at %v (corner %s)\n", d.Type, d.At, d.Corner)
+	}
+
+	// ASCII aerial image of the window centre rows.
+	mask, err := hsd.RasterizeClip(clip, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aerial := sim.AerialImage(mask)
+	fmt.Println("aerial image around the core (columns 40-88, '#'>=0.5, '+'>=0.35, '.'>=0.2):")
+	for y := 52; y < 76; y += 2 {
+		row := "  "
+		for x := 40; x < 88; x++ {
+			v := aerial.At(x, y)
+			switch {
+			case v >= 0.5:
+				row += "#"
+			case v >= 0.35:
+				row += "+"
+			case v >= 0.2:
+				row += "."
+			default:
+				row += " "
+			}
+		}
+		fmt.Println(row)
+	}
+	fmt.Println()
+}

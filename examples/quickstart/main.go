@@ -1,0 +1,75 @@
+// Quickstart: generate a small benchmark, train one shallow and one deep
+// hotspot detector, and compare them under the ICCAD-2012 protocol.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hsd "github.com/golitho/hsd"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Generate a small synthetic benchmark (deterministic in the seed).
+	cfg := hsd.SmallSuiteConfig(1)
+	cfg.Specs = []hsd.BenchmarkSpec{{
+		Name:  "Q1",
+		Style: hsd.DefaultPatternStyle(),
+		// Enough data for the CNN to be meaningful, small enough to run
+		// in well under a minute.
+		TrainHS: 60, TrainNHS: 240,
+		TestHS: 25, TestNHS: 150,
+	}}
+	t0 := time.Now()
+	suite, err := hsd.GenerateSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench := suite.Benchmarks[0]
+	trHS, trNHS := bench.Train.Counts()
+	teHS, teNHS := bench.Test.Counts()
+	fmt.Printf("benchmark %s: train %d HS / %d NHS, test %d HS / %d NHS (generated in %v)\n\n",
+		bench.Name, trHS, trNHS, teHS, teNHS, time.Since(t0).Round(time.Millisecond))
+
+	train := hsd.FromSamples(bench.Train.Samples)
+	test := hsd.FromSamples(bench.Test.Samples)
+
+	// 2. The oracle: every label comes from lithography simulation.
+	sim, err := hsd.NewSimulator(hsd.DefaultSimConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Simulate(test[0].Clip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oracle check on first test clip: hotspot=%v, defects=%d, PV band=%.0f nm^2\n\n",
+		res.Hotspot, len(res.Defects), res.PVBandArea)
+
+	// 3. Train and evaluate a shallow and a deep detector.
+	for _, spec := range []hsd.DetectorSpec{
+		{Name: "AdaBoost (shallow)", New: hsd.StandardAdaBoost},
+		{Name: "CNN-biased (deep)",
+			New:     func() hsd.Detector { return hsd.StandardCNN(1, 0.25, "cnn-biased") },
+			Augment: hsd.StandardAugment()},
+	} {
+		det := spec.New()
+		r, err := hsd.Evaluate(det, bench.Name, train, test, hsd.EvalOptions{
+			Sim:     sim,
+			Augment: spec.Augment,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s accuracy=%.1f%%  false alarms=%d  AUC=%.3f  ODST=%v (vs %v full sim)\n",
+			spec.Name, 100*r.Accuracy(), r.FalseAlarms(), r.AUC,
+			r.ODST().Round(time.Millisecond), r.FullSimTime.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/golitho/hsd
+
+go 1.22

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+)
+
+// errDetector fails on clips overlapping Bad.
+type errDetector struct {
+	Bad geom.Rect
+}
+
+var errInjected = errors.New("injected failure")
+
+func (e *errDetector) Name() string                  { return "err" }
+func (e *errDetector) Fit(train []LabeledClip) error { return nil }
+func (e *errDetector) Threshold() float64            { return 0.5 }
+func (e *errDetector) Score(clip layout.Clip) (float64, error) {
+	if clip.Window.Overlaps(e.Bad) {
+		return 0, errInjected
+	}
+	return 0, nil
+}
+
+func TestScanPropagatesDetectorErrors(t *testing.T) {
+	chip := layout.New("chip")
+	if err := chip.AddRect(geom.R(0, 0, 4096, 96)); err != nil {
+		t.Fatal(err)
+	}
+	det := &errDetector{Bad: geom.R(2000, 0, 2100, 100)}
+	_, err := Scan(chip, det, ScanConfig{Workers: 3})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("scan error = %v, want injected failure", err)
+	}
+}
+
+func TestEvaluatePropagatesScoreErrors(t *testing.T) {
+	train, test := tinySplits(t)
+	det := &errDetector{Bad: test[0].Clip.Window}
+	_, err := Evaluate(det, "T1", train, test, EvalOptions{})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("evaluate error = %v, want injected failure", err)
+	}
+}
+
+// fitFailDetector always fails to train.
+type fitFailDetector struct{}
+
+func (fitFailDetector) Name() string                       { return "fitfail" }
+func (fitFailDetector) Fit([]LabeledClip) error            { return errInjected }
+func (fitFailDetector) Threshold() float64                 { return 0.5 }
+func (fitFailDetector) Score(layout.Clip) (float64, error) { return 0, nil }
+
+func TestEvaluatePropagatesFitErrors(t *testing.T) {
+	train, test := tinySplits(t)
+	_, err := Evaluate(fitFailDetector{}, "T1", train, test, EvalOptions{})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("evaluate error = %v, want injected failure", err)
+	}
+}
+
+func TestEnsemblePropagatesMemberFitError(t *testing.T) {
+	train, _ := tinySplits(t)
+	ens := NewEnsemble(fitFailDetector{})
+	if err := ens.Fit(train); !errors.Is(err, errInjected) {
+		t.Fatalf("ensemble fit error = %v", err)
+	}
+}
+
+func TestEvaluateSuiteSmoke(t *testing.T) {
+	s := getTinySuite(t)
+	results, err := EvaluateSuite(func() Detector {
+		return &stubDetector{Target: geom.R(0, 0, 10, 10)}
+	}, s, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(s.Benchmarks) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Confusion.Total() == 0 {
+			t.Fatal("empty confusion in suite evaluation")
+		}
+	}
+}
+
+func TestScanStrideCoversChip(t *testing.T) {
+	chip := layout.New("chip")
+	// A hotspot-marker shape in every corner and the centre.
+	marks := []geom.Rect{
+		geom.R(10, 10, 30, 30),
+		geom.R(4000, 10, 4050, 60),
+		geom.R(10, 4000, 60, 4050),
+		geom.R(4000, 4000, 4060, 4060),
+		geom.R(2000, 2000, 2080, 2080),
+	}
+	for _, m := range marks {
+		if err := chip.AddRect(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A detector that flags any window with geometry: every mark must be
+	// covered by at least one flagged window.
+	det := &stubDetector{Target: geom.R(0, 0, 4096, 4096)}
+	findings, err := Scan(chip, det, ScanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range marks {
+		hit := false
+		for _, f := range findings {
+			win := geom.R(f.Center.X-512, f.Center.Y-512, f.Center.X+512, f.Center.Y+512)
+			if win.ContainsRect(m) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Fatalf("mark %v not covered by any flagged window", m)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+)
+
+// ScanConfig controls full-chip scanning.
+type ScanConfig struct {
+	// ClipNM is the detection window edge (default 1024).
+	ClipNM int
+	// CoreFrac is the scored core fraction (default 0.5).
+	CoreFrac float64
+	// StrideNM is the window step; it defaults to the core size so cores
+	// tile the chip without gaps.
+	StrideNM int
+	// Workers bounds concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// SkipEmpty skips windows with no geometry (always sound: empty
+	// windows cannot print defects).
+	SkipEmpty bool
+}
+
+func (c *ScanConfig) normalize() {
+	if c.ClipNM <= 0 {
+		c.ClipNM = 1024
+	}
+	if c.CoreFrac <= 0 || c.CoreFrac > 1 {
+		c.CoreFrac = 0.5
+	}
+	if c.StrideNM <= 0 {
+		c.StrideNM = int(float64(c.ClipNM) * c.CoreFrac)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Finding is one flagged window of a full-chip scan.
+type Finding struct {
+	// Center of the flagged window in chip coordinates.
+	Center geom.Point
+	// Score is the detector output for the window.
+	Score float64
+}
+
+// Scan slides a detection window across the chip and returns the flagged
+// windows ordered by descending score. Cores tile the die (given the
+// default stride), so every location is scored exactly once.
+//
+// When det implements Cloner, windows are scored in parallel with one
+// detector clone per worker; otherwise det.Score is assumed safe for
+// concurrent use (true for the fitted PM/SVM/AdaBoost detectors, whose
+// models are immutable after Fit).
+func Scan(chip *layout.Layout, det Detector, cfg ScanConfig) ([]Finding, error) {
+	cfg.normalize()
+	bounds := chip.Bounds()
+	if bounds.Empty() {
+		return nil, nil
+	}
+	half := cfg.ClipNM / 2
+	var centers []geom.Point
+	for cy := bounds.Min.Y + half; cy-half < bounds.Max.Y; cy += cfg.StrideNM {
+		for cx := bounds.Min.X + half; cx-half < bounds.Max.X; cx += cfg.StrideNM {
+			centers = append(centers, geom.Pt(cx, cy))
+		}
+	}
+
+	findings := make([]*Finding, len(centers))
+	errs := make([]error, len(centers))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < cfg.Workers; w++ {
+		d := det
+		if c, ok := det.(Cloner); ok {
+			d = c.CloneDetector()
+		}
+		wg.Add(1)
+		go func(d Detector) {
+			defer wg.Done()
+			for i := range jobs {
+				clip, err := chip.ClipAt(centers[i], cfg.ClipNM, cfg.CoreFrac)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				if cfg.SkipEmpty && len(clip.Shapes) == 0 {
+					continue
+				}
+				score, err := d.Score(clip)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				if score >= d.Threshold() {
+					findings[i] = &Finding{Center: centers[i], Score: score}
+				}
+			}
+		}(d)
+	}
+	for i := range centers {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: scan window %d at %v: %w", i, centers[i], err)
+		}
+	}
+	out := make([]Finding, 0, 16)
+	for _, f := range findings {
+		if f != nil {
+			out = append(out, *f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Center.Y != out[j].Center.Y {
+			return out[i].Center.Y < out[j].Center.Y
+		}
+		return out[i].Center.X < out[j].Center.X
+	})
+	return out, nil
+}

@@ -1,0 +1,43 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+)
+
+func benchClip(b *testing.B) layout.Clip {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	l := layout.New("bench")
+	for i := 0; i < 20; i++ {
+		x, y := rng.Intn(900), rng.Intn(900)
+		if err := l.AddRect(geom.R(x, y, x+80+rng.Intn(120), y+64+rng.Intn(64))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	clip, err := l.ClipAt(geom.Pt(512, 512), 1024, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return clip
+}
+
+func benchExtract(b *testing.B, ex Extractor) {
+	b.Helper()
+	clip := benchClip(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Extract(clip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDensity32(b *testing.B) { benchExtract(b, &Density{Grid: 32}) }
+func BenchmarkCCAS8x12(b *testing.B)  { benchExtract(b, &CCAS{Rings: 8, Sectors: 12}) }
+func BenchmarkGeomStats(b *testing.B) { benchExtract(b, &GeomStats{}) }
+func BenchmarkDCT16x16(b *testing.B)  { benchExtract(b, &DCT{Blocks: 16, Coefs: 16}) }

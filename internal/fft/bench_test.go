@@ -1,0 +1,70 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkFFT1K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := FFT(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT2D128(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]complex128, 128*128)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := FFT2D(x, 128, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvolveSame128(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	img := make([]float64, 128*128)
+	for i := range img {
+		img[i] = rng.Float64()
+	}
+	k := make([]float64, 25*25)
+	for i := range k {
+		k[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ConvolveSame(img, 128, 128, k, 25, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDCT2D16(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	block := make([]float64, 16*16)
+	for i := range block {
+		block[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DCT2D(block, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func TestIsPow2(t *testing.T) {
+	for n, want := range map[int]bool{0: false, 1: true, 2: true, 3: false, 4: true, 6: false, 1024: true, -4: false} {
+		if got := IsPow2(n); got != want {
+			t.Errorf("IsPow2(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	for n, want := range map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 100: 128} {
+		if got := NextPow2(n); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFFTRejectsNonPow2(t *testing.T) {
+	if err := FFT(make([]complex128, 3)); err == nil {
+		t.Fatal("length 3 accepted")
+	}
+	if err := FFT2D(make([]complex128, 12), 3, 4); err == nil {
+		t.Fatal("3x4 accepted")
+	}
+	if err := FFT2D(make([]complex128, 10), 4, 4); err == nil {
+		t.Fatal("bad buffer length accepted")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > eps {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	const n = 16
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*3*float64(i)/n))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		want := 0.0
+		if i == 3 {
+			want = n
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Fatalf("bin %d magnitude = %v, want %v", i, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := FFT(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := IFFT(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip differs at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	f := func() bool {
+		n := 1 << (1 + rng.Intn(7))
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(freqEnergy/float64(n)-timeEnergy) < 1e-6*(1+timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFT2DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const w, h = 16, 8
+	x := make([]complex128, w*h)
+	orig := make([]complex128, w*h)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		orig[i] = x[i]
+	}
+	if err := FFT2D(x, w, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT2D(x, w, h); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("2D round trip differs at %d", i)
+		}
+	}
+}
+
+func directConvolveSame(img []float64, w, h int, k []float64, kw, kh int) []float64 {
+	out := make([]float64, w*h)
+	ox, oy := kw/2, kh/2
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var s float64
+			for j := 0; j < kh; j++ {
+				for i := 0; i < kw; i++ {
+					// out[y][x] = sum img[y - (j-oy)][x - (i-ox)] * k[j][i]
+					yy := y - (j - oy)
+					xx := x - (i - ox)
+					if yy < 0 || xx < 0 || yy >= h || xx >= w {
+						continue
+					}
+					s += img[yy*w+xx] * k[j*kw+i]
+				}
+			}
+			out[y*w+x] = s
+		}
+	}
+	return out
+}
+
+func TestConvolveSameMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	const w, h, kw, kh = 13, 9, 5, 3
+	img := make([]float64, w*h)
+	for i := range img {
+		img[i] = rng.Float64()
+	}
+	k := make([]float64, kw*kh)
+	for i := range k {
+		k[i] = rng.NormFloat64()
+	}
+	got, err := ConvolveSame(img, w, h, k, kw, kh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := directConvolveSame(img, w, h, k, kw, kh)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("conv differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveIdentityKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	const w, h = 8, 8
+	img := make([]float64, w*h)
+	for i := range img {
+		img[i] = rng.Float64()
+	}
+	k := []float64{0, 0, 0, 0, 1, 0, 0, 0, 0} // 3x3 delta
+	got, err := ConvolveSame(img, w, h, k, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img {
+		if math.Abs(got[i]-img[i]) > 1e-9 {
+			t.Fatalf("identity convolution changed pixel %d", i)
+		}
+	}
+}
+
+func TestConvolveValidation(t *testing.T) {
+	if _, err := ConvolveSame(make([]float64, 5), 2, 2, nil, 0, 0); err == nil {
+		t.Fatal("bad image length accepted")
+	}
+	if _, err := ConvolveSame(make([]float64, 4), 2, 2, make([]float64, 3), 2, 2); err == nil {
+		t.Fatal("bad kernel length accepted")
+	}
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		block := make([]float64, n*n)
+		for i := range block {
+			block[i] = rng.NormFloat64()
+		}
+		coef, err := DCT2D(block, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := IDCT2D(coef, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range block {
+			if math.Abs(back[i]-block[i]) > 1e-9 {
+				t.Fatalf("n=%d: DCT round trip differs at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestDCTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	f := func() bool {
+		n := 1 + rng.Intn(12)
+		block := make([]float64, n*n)
+		var e1 float64
+		for i := range block {
+			block[i] = rng.NormFloat64()
+			e1 += block[i] * block[i]
+		}
+		coef, err := DCT2D(block, n)
+		if err != nil {
+			return false
+		}
+		var e2 float64
+		for _, v := range coef {
+			e2 += v * v
+		}
+		return math.Abs(e1-e2) < 1e-6*(1+e1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCTDCTerm(t *testing.T) {
+	const n = 4
+	block := make([]float64, n*n)
+	for i := range block {
+		block[i] = 2.5
+	}
+	coef, err := DCT2D(block, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orthonormal DCT: DC term = n * mean value; all others 0.
+	if math.Abs(coef[0]-2.5*n) > eps {
+		t.Fatalf("DC = %v, want %v", coef[0], 2.5*n)
+	}
+	for i := 1; i < len(coef); i++ {
+		if math.Abs(coef[i]) > eps {
+			t.Fatalf("AC term %d = %v, want 0", i, coef[i])
+		}
+	}
+}
+
+func TestDCTValidation(t *testing.T) {
+	if _, err := DCT2D(make([]float64, 5), 2); err == nil {
+		t.Fatal("bad block accepted")
+	}
+	if _, err := IDCT2D(make([]float64, 5), 2); err == nil {
+		t.Fatal("bad block accepted")
+	}
+	if _, err := DCT2D(nil, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	got := Zigzag(3)
+	want := []int{0, 1, 3, 6, 4, 2, 5, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zigzag = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 12} {
+		order := Zigzag(n)
+		if len(order) != n*n {
+			t.Fatalf("n=%d: len = %d", n, len(order))
+		}
+		seen := make([]bool, n*n)
+		for _, idx := range order {
+			if idx < 0 || idx >= n*n || seen[idx] {
+				t.Fatalf("n=%d: invalid or duplicate index %d", n, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}

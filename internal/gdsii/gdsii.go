@@ -1,0 +1,330 @@
+// Package gdsii implements the subset of the Calma GDSII stream format
+// needed to exchange single-layer hotspot benchmark layouts with EDA
+// tools: a library with one structure whose elements are rectilinear
+// BOUNDARY polygons.
+//
+// The format is the industry-standard binary layout interchange: a
+// sequence of records, each with a big-endian 2-byte length, a record
+// type byte, and a data type byte. Reals are the GDSII excess-64
+// base-16 floating point format.
+package gdsii
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+)
+
+// Record types used by this subset.
+const (
+	recHEADER   = 0x00
+	recBGNLIB   = 0x01
+	recLIBNAME  = 0x02
+	recUNITS    = 0x03
+	recENDLIB   = 0x04
+	recBGNSTR   = 0x05
+	recSTRNAME  = 0x06
+	recENDSTR   = 0x07
+	recBOUNDARY = 0x08
+	recLAYER    = 0x0d
+	recDATATYPE = 0x0e
+	recXY       = 0x10
+	recENDEL    = 0x11
+)
+
+// Data types.
+const (
+	dtNone   = 0x00
+	dtInt16  = 0x02
+	dtInt32  = 0x03
+	dtReal64 = 0x05
+	dtASCII  = 0x06
+)
+
+// DefaultLayer is the GDSII layer number used when writing.
+const DefaultLayer = 1
+
+// ErrTruncated is returned when the stream ends mid-record.
+var ErrTruncated = errors.New("gdsii: truncated stream")
+
+// encodeReal64 converts v to the GDSII 8-byte excess-64 base-16 real.
+func encodeReal64(v float64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	var sign uint64
+	if v < 0 {
+		sign = 1 << 63
+		v = -v
+	}
+	// Normalize mantissa into [1/16, 1) with exponent in powers of 16.
+	exp := 64
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	mant := uint64(v * math.Pow(2, 56))
+	if mant >= 1<<56 { // rounding overflow
+		mant >>= 4
+		exp++
+	}
+	return sign | uint64(exp)<<56 | mant
+}
+
+// decodeReal64 converts the GDSII 8-byte real to float64.
+func decodeReal64(bits uint64) float64 {
+	if bits&^(1<<63) == 0 {
+		return 0
+	}
+	sign := 1.0
+	if bits&(1<<63) != 0 {
+		sign = -1
+	}
+	exp := int((bits>>56)&0x7f) - 64
+	mant := float64(bits&((1<<56)-1)) / math.Pow(2, 56)
+	return sign * mant * math.Pow(16, float64(exp))
+}
+
+// record is one parsed GDSII record.
+type record struct {
+	typ  byte
+	dt   byte
+	data []byte
+}
+
+func writeRecord(w io.Writer, typ, dt byte, data []byte) error {
+	if len(data)%2 != 0 {
+		return fmt.Errorf("gdsii: odd record payload %d", len(data))
+	}
+	length := uint16(4 + len(data))
+	hdr := []byte{byte(length >> 8), byte(length), typ, dt}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readRecord(r io.Reader) (record, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return record{}, io.EOF
+		}
+		return record{}, fmt.Errorf("%w: record header", ErrTruncated)
+	}
+	length := int(hdr[0])<<8 | int(hdr[1])
+	if length < 4 {
+		return record{}, fmt.Errorf("gdsii: invalid record length %d", length)
+	}
+	rec := record{typ: hdr[2], dt: hdr[3]}
+	if length > 4 {
+		rec.data = make([]byte, length-4)
+		if _, err := io.ReadFull(r, rec.data); err != nil {
+			return record{}, fmt.Errorf("%w: record body", ErrTruncated)
+		}
+	}
+	return rec, nil
+}
+
+func int16Payload(vs ...int16) []byte {
+	out := make([]byte, 2*len(vs))
+	for i, v := range vs {
+		binary.BigEndian.PutUint16(out[2*i:], uint16(v))
+	}
+	return out
+}
+
+func asciiPayload(s string) []byte {
+	b := []byte(s)
+	if len(b)%2 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// Write serializes a layout as a GDSII library with a single structure.
+// Coordinates are written in database units of 1 nm (UNITS 1e-3 user
+// units per dbu, 1e-9 m per dbu, the common convention).
+func Write(w io.Writer, l *layout.Layout) error {
+	bw := bufio.NewWriter(w)
+	now := timestampPayload()
+
+	if err := writeRecord(bw, recHEADER, dtInt16, int16Payload(600)); err != nil {
+		return err
+	}
+	if err := writeRecord(bw, recBGNLIB, dtInt16, now); err != nil {
+		return err
+	}
+	name := l.Name
+	if name == "" {
+		name = "HSD"
+	}
+	if err := writeRecord(bw, recLIBNAME, dtASCII, asciiPayload(name)); err != nil {
+		return err
+	}
+	units := make([]byte, 16)
+	binary.BigEndian.PutUint64(units[0:], encodeReal64(1e-3))
+	binary.BigEndian.PutUint64(units[8:], encodeReal64(1e-9))
+	if err := writeRecord(bw, recUNITS, dtReal64, units); err != nil {
+		return err
+	}
+	if err := writeRecord(bw, recBGNSTR, dtInt16, now); err != nil {
+		return err
+	}
+	if err := writeRecord(bw, recSTRNAME, dtASCII, asciiPayload("TOP")); err != nil {
+		return err
+	}
+	for _, r := range l.Shapes() {
+		if err := writeBoundary(bw, r); err != nil {
+			return err
+		}
+	}
+	if err := writeRecord(bw, recENDSTR, dtNone, nil); err != nil {
+		return err
+	}
+	if err := writeRecord(bw, recENDLIB, dtNone, nil); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func timestampPayload() []byte {
+	// BGNLIB/BGNSTR carry modification + access times as 6 int16s each.
+	// A fixed epoch keeps output byte-for-byte deterministic.
+	t := time.Date(2017, 9, 5, 0, 0, 0, 0, time.UTC) // SOCC 2017
+	fields := []int16{
+		int16(t.Year()), int16(t.Month()), int16(t.Day()),
+		int16(t.Hour()), int16(t.Minute()), int16(t.Second()),
+	}
+	return int16Payload(append(fields, fields...)...)
+}
+
+func writeBoundary(w io.Writer, r geom.Rect) error {
+	if err := writeRecord(w, recBOUNDARY, dtNone, nil); err != nil {
+		return err
+	}
+	if err := writeRecord(w, recLAYER, dtInt16, int16Payload(DefaultLayer)); err != nil {
+		return err
+	}
+	if err := writeRecord(w, recDATATYPE, dtInt16, int16Payload(0)); err != nil {
+		return err
+	}
+	// Closed ring: 5 points, 2 int32 each.
+	pts := []geom.Point{
+		r.Min, {X: r.Max.X, Y: r.Min.Y}, r.Max, {X: r.Min.X, Y: r.Max.Y}, r.Min,
+	}
+	xy := make([]byte, 8*len(pts))
+	for i, p := range pts {
+		binary.BigEndian.PutUint32(xy[8*i:], uint32(int32(p.X)))
+		binary.BigEndian.PutUint32(xy[8*i+4:], uint32(int32(p.Y)))
+	}
+	if err := writeRecord(w, recXY, dtInt32, xy); err != nil {
+		return err
+	}
+	return writeRecord(w, recENDEL, dtNone, nil)
+}
+
+// Read parses a GDSII stream into a layout. All BOUNDARY elements of all
+// structures are merged; rectilinear polygons are decomposed into
+// rectangles. Unknown records are skipped (the format is self-framing).
+func Read(r io.Reader) (*layout.Layout, error) {
+	br := bufio.NewReader(r)
+	first, err := readRecord(br)
+	if err != nil {
+		return nil, fmt.Errorf("gdsii: %w", err)
+	}
+	if first.typ != recHEADER {
+		return nil, fmt.Errorf("gdsii: stream does not start with HEADER (got 0x%02x)", first.typ)
+	}
+	l := layout.New("gdsii")
+	inBoundary := false
+	sawEndlib := false
+	for {
+		rec, err := readRecord(br)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rec.typ {
+		case recLIBNAME:
+			l.Name = trimNul(string(rec.data))
+		case recBOUNDARY:
+			inBoundary = true
+		case recENDEL:
+			inBoundary = false
+		case recXY:
+			if !inBoundary {
+				continue // XY of unsupported elements (PATH etc.)
+			}
+			poly, err := parseXY(rec.data)
+			if err != nil {
+				return nil, err
+			}
+			if err := addPolygon(l, poly); err != nil {
+				return nil, err
+			}
+		case recENDLIB:
+			sawEndlib = true
+		}
+		if sawEndlib {
+			break
+		}
+	}
+	if !sawEndlib {
+		return nil, fmt.Errorf("%w: missing ENDLIB", ErrTruncated)
+	}
+	return l, nil
+}
+
+func trimNul(s string) string {
+	for len(s) > 0 && s[len(s)-1] == 0 {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func parseXY(data []byte) (geom.Polygon, error) {
+	if len(data)%8 != 0 || len(data) < 8*4 {
+		return nil, fmt.Errorf("gdsii: malformed XY payload of %d bytes", len(data))
+	}
+	n := len(data) / 8
+	poly := make(geom.Polygon, 0, n)
+	for i := 0; i < n; i++ {
+		x := int(int32(binary.BigEndian.Uint32(data[8*i:])))
+		y := int(int32(binary.BigEndian.Uint32(data[8*i+4:])))
+		poly = append(poly, geom.Pt(x, y))
+	}
+	// The ring is explicitly closed in GDSII; drop the repeated vertex.
+	if len(poly) >= 2 && poly[0] == poly[len(poly)-1] {
+		poly = poly[:len(poly)-1]
+	}
+	return poly, nil
+}
+
+func addPolygon(l *layout.Layout, poly geom.Polygon) error {
+	if len(poly) == 4 {
+		b := poly.Bounds()
+		if poly.Area() == b.Area() { // axis-aligned rectangle
+			return l.AddRect(b)
+		}
+	}
+	return l.AddPolygon(poly)
+}

@@ -1,0 +1,388 @@
+package iccad
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+)
+
+// snap rounds v to the generation grid.
+func snap(v int) int { return (v + Grid/2) / Grid * Grid }
+
+// pick draws a grid-snapped uniform value from [lo, hi].
+func pick(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return snap(lo)
+	}
+	return snap(lo + rng.Intn(hi-lo+1))
+}
+
+func (st Style) width(rng *rand.Rand, risky bool) int {
+	if risky {
+		return pick(rng, st.RiskWidth[0], st.RiskWidth[1])
+	}
+	return pick(rng, st.SafeWidth[0], st.SafeWidth[1])
+}
+
+func (st Style) space(rng *rand.Rand, risky bool) int {
+	if risky {
+		return pick(rng, st.RiskSpace[0], st.RiskSpace[1])
+	}
+	return pick(rng, st.SafeSpace[0], st.SafeSpace[1])
+}
+
+func (st Style) gap(rng *rand.Rand, risky bool) int {
+	g := pick(rng, st.SafeGap[0], st.SafeGap[1])
+	if risky {
+		g = pick(rng, st.RiskGap[0], st.RiskGap[1])
+	}
+	// Gaps are centred on a grid point, so they must be even multiples of
+	// the grid for both tips to stay grid-aligned.
+	g = g / (2 * Grid) * (2 * Grid)
+	if g < 2*Grid {
+		g = 2 * Grid
+	}
+	return g
+}
+
+// synthesizeClip generates one random clip according to the style.
+func synthesizeClip(rng *rand.Rand, cfg SuiteConfig, st Style) (layout.Clip, string, error) {
+	weights := []struct {
+		name string
+		w    float64
+		gen  func(*rand.Rand, SuiteConfig, Style, bool) []geom.Rect
+	}{
+		{"linearray", st.LineArrayW, genLineArray},
+		{"lineend", st.LineEndW, genLineEnds},
+		{"jog", st.JogW, genJogs},
+		{"contact", st.ContactW, genContacts},
+		{"mixed", st.MixedW, genMixed},
+	}
+	var total float64
+	for _, w := range weights {
+		total += w.w
+	}
+	if total <= 0 {
+		return layout.Clip{}, "", fmt.Errorf("iccad: style has no enabled families")
+	}
+	r := rng.Float64() * total
+	idx := 0
+	for i, w := range weights {
+		if r < w.w {
+			idx = i
+			break
+		}
+		r -= w.w
+	}
+	risky := rng.Float64() < st.RiskProb
+	shapes := weights[idx].gen(rng, cfg, st, risky)
+
+	l := layout.NewWithGrid("synthetic", 256)
+	for _, s := range shapes {
+		if s.Empty() {
+			continue
+		}
+		if err := l.AddRect(s); err != nil {
+			return layout.Clip{}, "", err
+		}
+	}
+	c := cfg.ClipNM / 2
+	clip, err := l.ClipAt(geom.Pt(c, c), cfg.ClipNM, cfg.CoreFrac)
+	if err != nil {
+		return layout.Clip{}, "", err
+	}
+	return clip, weights[idx].name, nil
+}
+
+// transpose swaps x and y of every rect (converts a horizontal pattern
+// into a vertical one).
+func transpose(rs []geom.Rect) []geom.Rect {
+	out := make([]geom.Rect, len(rs))
+	for i, r := range rs {
+		out[i] = geom.R(r.Min.Y, r.Min.X, r.Max.Y, r.Max.X)
+	}
+	return out
+}
+
+// genLineArray produces a 1-D routing track array. Risky clips narrow one
+// width or one space to near the resolution limit, or cut a tight line-end
+// gap into a track crossing the core.
+func genLineArray(rng *rand.Rand, cfg SuiteConfig, st Style, risky bool) []geom.Rect {
+	n := cfg.ClipNM
+	lo, hi := -2*Grid*8, n+2*Grid*8
+	var shapes []geom.Rect
+
+	// Choose which track index gets the risky construct.
+	riskTrack := -1
+	riskKind := 0 // 0: narrow width, 1: tight space, 2: tight tip gap
+	if risky {
+		riskKind = rng.Intn(3)
+	}
+	y := -pick(rng, 0, 160)
+	track := 0
+	for y < n+160 {
+		w := st.width(rng, false)
+		s := st.space(rng, false)
+		// Decide risk placement lazily: when the track is near the core.
+		coreLo, coreHi := n/4, 3*n/4
+		inCore := y+w/2 >= coreLo && y+w/2 < coreHi
+		applyRisk := risky && riskTrack == -1 && inCore && rng.Float64() < 0.5
+		if applyRisk {
+			riskTrack = track
+			switch riskKind {
+			case 0:
+				w = st.width(rng, true)
+			case 1:
+				s = st.space(rng, true)
+			}
+		}
+		if applyRisk && riskKind == 2 {
+			// Tip-to-tip break inside the core.
+			g := st.gap(rng, true)
+			bx := snap(n/2 + rng.Intn(n/4) - n/8)
+			shapes = append(shapes,
+				geom.R(lo, y, bx-g/2, y+w),
+				geom.R(bx+g/2, y, hi, y+w),
+			)
+		} else if rng.Float64() < 0.25 {
+			// Benign break with a safe gap.
+			g := st.gap(rng, false)
+			bx := snap(rng.Intn(n))
+			shapes = append(shapes,
+				geom.R(lo, y, bx-g/2, y+w),
+				geom.R(bx+g/2, y, hi, y+w),
+			)
+		} else {
+			shapes = append(shapes, geom.R(lo, y, hi, y+w))
+		}
+		y += w + s
+		track++
+	}
+	if rng.Intn(2) == 0 {
+		shapes = transpose(shapes)
+	}
+	return shapes
+}
+
+// genLineEnds produces arrays of facing line tips, the classic line-end
+// pullback / tip-to-tip hotspot topology.
+func genLineEnds(rng *rand.Rand, cfg SuiteConfig, st Style, risky bool) []geom.Rect {
+	n := cfg.ClipNM
+	lo, hi := -2*Grid*8, n+2*Grid*8
+	var shapes []geom.Rect
+	y := -pick(rng, 0, 128)
+	placedRisk := false
+	for y < n+128 {
+		w := st.width(rng, false)
+		s := st.space(rng, false)
+		g := st.gap(rng, false)
+		bx := snap(n/2 + rng.Intn(n/2) - n/4)
+		coreLo, coreHi := n/4, 3*n/4
+		if risky && !placedRisk && y+w/2 >= coreLo && y+w/2 < coreHi {
+			// Risky construct: tight tip gap, or a narrow line whose tip
+			// pulls back, centred in the core.
+			placedRisk = true
+			bx = snap(n/2 + rng.Intn(n/8) - n/16)
+			if rng.Intn(2) == 0 {
+				g = st.gap(rng, true)
+			} else {
+				w = st.width(rng, true)
+			}
+		}
+		shapes = append(shapes,
+			geom.R(lo, y, bx-g/2, y+w),
+			geom.R(bx+g/2, y, hi, y+w),
+		)
+		y += w + s
+	}
+	if rng.Intn(2) == 0 {
+		shapes = transpose(shapes)
+	}
+	return shapes
+}
+
+// genJogs produces a bus of parallel jogged (staircase) wires. Each wire
+// follows the same up-right staircase path, translated diagonally so the
+// wire-to-wire spacing stays constant. Risky clips pinch one wire's width
+// or the bus spacing.
+func genJogs(rng *rand.Rand, cfg SuiteConfig, st Style, risky bool) []geom.Rect {
+	n := cfg.ClipNM
+	w := st.width(rng, false)
+	s := st.space(rng, false)
+	if risky && rng.Intn(2) == 0 {
+		s = st.space(rng, true)
+	}
+	// Base staircase path: alternating horizontal and vertical runs from
+	// the lower-left to the upper-right of the window. Runs must exceed
+	// w + safe space so consecutive arms of one wire stay DRC-clean.
+	minRun := w + st.SafeSpace[1]
+	type step struct{ x, y, runX, runY int }
+	var path []step
+	x := -pick(rng, 256, 384)
+	y := -pick(rng, 128, 256)
+	for x < n+256 && y < n+256 {
+		runX := minRun + pick(rng, 32, 256)
+		runY := minRun + pick(rng, 0, 160)
+		path = append(path, step{x, y, runX, runY})
+		x += runX
+		y += runY
+	}
+	nWires := 3 + rng.Intn(4)
+	riskWire := -1
+	if risky {
+		riskWire = rng.Intn(nWires)
+	}
+	var shapes []geom.Rect
+	for k := 0; k < nWires; k++ {
+		wk := w
+		if k == riskWire && rng.Intn(2) == 0 {
+			wk = st.width(rng, true)
+		}
+		// Diagonal offset keeps spacing s on both arm orientations.
+		off := snap(k * (w + s))
+		for _, st := range path {
+			sx, sy := st.x+off, st.y-off
+			shapes = append(shapes, geom.R(sx, sy, sx+st.runX+wk, sy+wk))
+			shapes = append(shapes, geom.R(sx+st.runX, sy, sx+st.runX+wk, sy+st.runY+wk))
+		}
+	}
+	if rng.Intn(2) == 0 {
+		shapes = transpose(shapes)
+	}
+	return shapes
+}
+
+// genContacts produces a via/contact-style grid of squares; risky clips
+// shrink the square or its pitch near the core. Isolated squares suffer
+// two-dimensional pullback, so contact sizes run larger than wire widths:
+// safe squares are >= 96 nm, risky squares 56-80 nm.
+func genContacts(rng *rand.Rand, cfg SuiteConfig, st Style, risky bool) []geom.Rect {
+	n := cfg.ClipNM
+	var shapes []geom.Rect
+	w := pick(rng, 96, 160)
+	sx := st.space(rng, false) + 24
+	sy := st.space(rng, false) + 24
+	x0 := -pick(rng, 0, w+sx)
+	y0 := -pick(rng, 0, w+sy)
+	riskX, riskY := -1, -1
+	if risky {
+		riskX = n / 2
+		riskY = n / 2
+	}
+	for y := y0; y < n+96; y += w + sy {
+		for x := x0; x < n+96; x += w + sx {
+			cw := w
+			if risky && abs(x-riskX) < (w+sx) && abs(y-riskY) < (w+sy) && rng.Intn(2) == 0 {
+				cw = pick(rng, 56, 80) // 2-D pullback / open risk
+			}
+			shapes = append(shapes, geom.R(x, y, x+cw, y+cw))
+		}
+	}
+	if risky && rng.Intn(2) == 0 {
+		// Add an extra contact squeezed tightly against the grid contact
+		// nearest the core centre: a bridge risk. Grid contacts the extra
+		// would collide with are removed so drawn geometry stays disjoint.
+		g := pick(rng, 24, 44)
+		gx := x0 + ((n/2-x0)/(w+sx))*(w+sx)
+		gy := y0 + ((n/2-y0)/(w+sy))*(w+sy)
+		extra := geom.R(gx+w+g, gy, gx+2*w+g, gy+w)
+		kept := shapes[:0]
+		for _, s := range shapes {
+			if !s.Overlaps(extra) {
+				kept = append(kept, s)
+			}
+		}
+		shapes = append(kept, extra)
+	}
+	return shapes
+}
+
+// genMixed produces orthogonal routing regions meeting near the core, a
+// common source of complex 2-D hotspot topologies.
+func genMixed(rng *rand.Rand, cfg SuiteConfig, st Style, risky bool) []geom.Rect {
+	n := cfg.ClipNM
+	split := snap(n/2 + rng.Intn(n/4) - n/8)
+	sep := st.space(rng, false)
+	var shapes []geom.Rect
+	// Bottom half: horizontal lines up to the split.
+	topEdge := -pick(rng, 0, 128)
+	y := topEdge
+	for {
+		w := st.width(rng, false)
+		if risky && rng.Float64() < 0.15 {
+			w = st.width(rng, true)
+		}
+		if y+w > split-sep {
+			break
+		}
+		shapes = append(shapes, geom.R(-128, y, n+128, y+w))
+		topEdge = y + w
+		y += w + st.space(rng, false)
+	}
+	// Top half: vertical lines starting at the split.
+	x := -pick(rng, 0, 128)
+	protruded := false
+	for x < n+128 {
+		w := st.width(rng, false)
+		y0 := split
+		if risky && !protruded && x > n/3 && x < 2*n/3 && rng.Intn(2) == 0 {
+			// One line protrudes down towards the last horizontal line
+			// with a tight tip-to-edge gap: a bridge risk.
+			protruded = true
+			y0 = topEdge + pick(rng, 24, 44)
+		}
+		shapes = append(shapes, geom.R(x, y0, x+w, n+128))
+		x += w + st.space(rng, false)
+	}
+	if rng.Intn(2) == 0 {
+		shapes = transpose(shapes)
+	}
+	return shapes
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// GenerateChip synthesizes a full-chip layout of the given edge length by
+// tiling random pattern regions. Used by the full-chip scanning example
+// and the ODST scaling experiment.
+func GenerateChip(seed int64, edgeNM int, st Style) (*layout.Layout, error) {
+	if edgeNM <= 0 {
+		return nil, fmt.Errorf("iccad: chip edge must be positive, got %d", edgeNM)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cfg := SuiteConfig{ClipNM: 1024, CoreFrac: 0.5}
+	l := layout.NewWithGrid("chip", 2048)
+	const tile = 1024
+	gens := []func(*rand.Rand, SuiteConfig, Style, bool) []geom.Rect{
+		genLineArray, genLineEnds, genJogs, genContacts, genMixed,
+	}
+	// Tiles are inset by a margin so seam truncation does not create
+	// artificial tile-to-tile interactions; hotspots come from the
+	// patterns themselves, as in the clip benchmarks.
+	const margin = 96
+	for ty := 0; ty < edgeNM; ty += tile {
+		for tx := 0; tx < edgeNM; tx += tile {
+			risky := rng.Float64() < st.RiskProb
+			shapes := gens[rng.Intn(len(gens))](rng, cfg, st, risky)
+			off := geom.Pt(tx, ty)
+			window := geom.R(margin, margin, tile-margin, tile-margin)
+			for _, s := range shapes {
+				s = s.Intersect(window)
+				if s.Empty() {
+					continue
+				}
+				if err := l.AddRect(s.Translate(off)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return l, nil
+}

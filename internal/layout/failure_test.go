@@ -1,0 +1,79 @@
+package layout
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/golitho/hsd/internal/geom"
+)
+
+// failWriter fails after n bytes.
+type failWriter struct {
+	n int
+}
+
+var errSink = errors.New("sink full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errSink
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errSink
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteFailurePropagates(t *testing.T) {
+	l := New("w")
+	for i := 0; i < 100; i++ {
+		if err := l.AddRect(geom.R(i*10, 0, i*10+5, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, budget := range []int{0, 3, 64, 512} {
+		if err := Write(&failWriter{n: budget}, l); err == nil {
+			t.Fatalf("budget %d: write succeeded on failing writer", budget)
+		}
+	}
+}
+
+func TestQueryAfterManyInserts(t *testing.T) {
+	// Stress the grid index: many shapes in one cell plus strays.
+	l := NewWithGrid("dense", 128)
+	for i := 0; i < 500; i++ {
+		if err := l.AddRect(geom.R(i%20, (i/20)*3, i%20+2, (i/20)*3+2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := l.Query(geom.R(0, 0, 100, 100))
+	want := 0
+	for _, s := range l.Shapes() {
+		if s.Overlaps(geom.R(0, 0, 100, 100)) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("query = %d, want %d", len(got), want)
+	}
+}
+
+func TestClipAtNegativeCoordinates(t *testing.T) {
+	l := New("neg")
+	if err := l.AddRect(geom.R(-2000, -2000, -1000, -1900)); err != nil {
+		t.Fatal(err)
+	}
+	clip, err := l.ClipAt(geom.Pt(-1500, -1950), 1024, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clip.Shapes) != 1 {
+		t.Fatalf("shapes = %d", len(clip.Shapes))
+	}
+	if clip.Density() <= 0 {
+		t.Fatal("zero density over covered window")
+	}
+}

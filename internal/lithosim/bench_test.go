@@ -1,0 +1,63 @@
+package lithosim
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/raster"
+)
+
+func benchClip(b *testing.B) layout.Clip {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	l := layout.New("bench")
+	y := 0
+	for y < 1024 {
+		w := 72 + 8*rng.Intn(8)
+		if err := l.AddRect(geom.R(-64, y, 1088, y+w)); err != nil {
+			b.Fatal(err)
+		}
+		y += w + 80 + 8*rng.Intn(12)
+	}
+	clip, err := l.ClipAt(geom.Pt(512, 512), 1024, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return clip
+}
+
+// BenchmarkSimulateClip measures the oracle cost per clip: the unit of
+// the ODST verification term.
+func BenchmarkSimulateClip(b *testing.B) {
+	sim, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	clip := benchClip(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Simulate(clip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAerialImage128(b *testing.B) {
+	sim, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	clip := benchClip(b)
+	im, err := raster.Rasterize(raster.Config{Window: clip.Window, PixelNM: 8}, clip.Shapes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.AerialImage(im)
+	}
+}

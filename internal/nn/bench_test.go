@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/golitho/hsd/internal/tensor"
+)
+
+func benchCNN(b *testing.B) *Network {
+	b.Helper()
+	net, err := BuildCNN(CNNConfig{InC: 16, InH: 16, InW: 16, Conv1: 16, Conv2: 24, Hidden: 48})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.Init(rand.New(rand.NewSource(1)))
+	return net
+}
+
+// BenchmarkCNNInference measures single-sample scoring latency, the
+// per-window cost of a full-chip scan.
+func BenchmarkCNNInference(b *testing.B) {
+	net := benchCNN(b)
+	x := make([]float64, 16*16*16)
+	rng := rand.New(rand.NewSource(2))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Score(net, x)
+	}
+}
+
+// BenchmarkCNNTrainStep measures one minibatch forward+backward+update.
+func BenchmarkCNNTrainStep(b *testing.B) {
+	net := benchCNN(b)
+	rng := rand.New(rand.NewSource(3))
+	const bs = 32
+	x := tensor.NewMatrix(bs, 16*16*16)
+	x.Randomize(rng, 1)
+	y := make([]int, bs)
+	for i := range y {
+		y[i] = rng.Intn(2)
+	}
+	opt := NewAdam(1e-3)
+	loss := SoftmaxCE{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits := net.Forward(x, true)
+		_, grad, _ := loss.Loss(logits, y)
+		net.ZeroGrad()
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+}
+
+func BenchmarkMLPInference(b *testing.B) {
+	net := BuildMLP(482, 64, 32)
+	net.Init(rand.New(rand.NewSource(4)))
+	x := make([]float64, 482)
+	rng := rand.New(rand.NewSource(5))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Score(net, x)
+	}
+}

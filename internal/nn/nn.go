@@ -1,0 +1,126 @@
+// Package nn is a from-scratch neural-network framework sized for
+// hotspot detection: dense and convolutional layers over float64
+// minibatches, softmax cross-entropy with the biased-learning variant of
+// the hotspot literature, SGD/Adam optimizers, and gob serialization.
+//
+// Batches are tensor.Matrix values with one flattened sample per row.
+// Convolutional layers interpret rows in (C, H, W) channel-major order,
+// matching the feature-tensor layout produced by the features package.
+//
+// Layers carry per-batch caches for backpropagation, so a Network is NOT
+// safe for concurrent use; Clone one network per goroutine instead.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/golitho/hsd/internal/tensor"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	W, G *tensor.Matrix
+}
+
+// Layer is one differentiable network stage.
+type Layer interface {
+	// Name identifies the layer in diagnostics.
+	Name() string
+	// OutDim is the flattened output width given the configured input.
+	OutDim() int
+	// Forward consumes a batch (one sample per row) and returns the
+	// layer output. When train is true the layer caches what Backward
+	// needs.
+	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
+	// Backward consumes dL/dOutput and returns dL/dInput, accumulating
+	// parameter gradients.
+	Backward(grad *tensor.Matrix) *tensor.Matrix
+	// Params returns the layer's trainable parameters (nil when none).
+	Params() []*Param
+	// Clone returns an independent copy sharing no mutable state.
+	Clone() Layer
+}
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a sequential network.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// OutDim returns the output width of the final layer.
+func (n *Network) OutDim() int {
+	if len(n.Layers) == 0 {
+		return 0
+	}
+	return n.Layers[len(n.Layers)-1].OutDim()
+}
+
+// Forward runs the whole stack.
+func (n *Network) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs backpropagation from the loss gradient.
+func (n *Network) Backward(grad *tensor.Matrix) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// Params collects every trainable parameter in the stack.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears all gradient accumulators.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.G.Zero()
+	}
+}
+
+// Clone returns a deep copy safe for concurrent inference.
+func (n *Network) Clone() *Network {
+	out := &Network{Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		out.Layers[i] = l.Clone()
+	}
+	return out
+}
+
+// NumParams returns the total number of trainable scalars.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W.Data)
+	}
+	return total
+}
+
+// Init (re)initializes all parameters with He-style scaling from rng.
+func (n *Network) Init(rng *rand.Rand) {
+	for _, l := range n.Layers {
+		if init, ok := l.(interface{ init(*rand.Rand) }); ok {
+			init.init(rng)
+		}
+	}
+}
+
+// checkCols panics with a clear message on a layer input-width mismatch;
+// this is a programming error (wrong architecture wiring), not runtime
+// input, so panicking is appropriate.
+func checkCols(layer string, want, got int) {
+	if want != got {
+		panic(fmt.Sprintf("nn: %s expects input width %d, got %d", layer, want, got))
+	}
+}

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/golitho/hsd/internal/tensor"
+)
+
+// Optimizer applies accumulated gradients to parameters.
+type Optimizer interface {
+	// Step updates every parameter from its gradient; gradients are not
+	// cleared (call Network.ZeroGrad afterwards).
+	Step(params []*Param)
+	// Name identifies the optimizer in reports.
+	Name() string
+}
+
+// SGD is stochastic gradient descent with classical momentum and L2
+// weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity []*tensor.Matrix
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+func (s *SGD) scaleLR(f float64) { s.LR *= f }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	if s.velocity == nil {
+		s.velocity = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.NewMatrix(p.W.Rows, p.W.Cols)
+		}
+	}
+	for i, p := range params {
+		v := s.velocity[i]
+		for j := range p.W.Data {
+			g := p.G.Data[j] + s.WeightDecay*p.W.Data[j]
+			v.Data[j] = s.Momentum*v.Data[j] - s.LR*g
+			p.W.Data[j] += v.Data[j]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	t    int
+	m, v []*tensor.Matrix
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam returns Adam with standard defaults and the given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+func (a *Adam) scaleLR(f float64) { a.LR *= f }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	if a.m == nil {
+		a.m = make([]*tensor.Matrix, len(params))
+		a.v = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			a.m[i] = tensor.NewMatrix(p.W.Rows, p.W.Cols)
+			a.v[i] = tensor.NewMatrix(p.W.Rows, p.W.Cols)
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.W.Data {
+			g := p.G.Data[j] + a.WeightDecay*p.W.Data[j]
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
+			mh := m.Data[j] / c1
+			vh := v.Data[j] / c2
+			p.W.Data[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}

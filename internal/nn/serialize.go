@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the serialized form of one layer: a kind tag plus the
+// integer geometry and float payloads needed to reconstruct it.
+type snapshot struct {
+	Kind   string
+	Ints   []int
+	Seeds  []int64
+	Floats [][]float64
+}
+
+const formatVersion = 1
+
+type netFile struct {
+	Version int
+	Layers  []snapshot
+}
+
+// Save serializes the network's architecture and weights.
+func Save(w io.Writer, net *Network) error {
+	file := netFile{Version: formatVersion}
+	for _, l := range net.Layers {
+		var s snapshot
+		switch v := l.(type) {
+		case *Dense:
+			s = snapshot{Kind: "dense", Ints: []int{v.In, v.Out},
+				Floats: [][]float64{append([]float64(nil), v.W.Data...), append([]float64(nil), v.B...)}}
+		case *ReLU:
+			s = snapshot{Kind: "relu", Ints: []int{v.Dim}}
+		case *Dropout:
+			s = snapshot{Kind: "dropout", Ints: []int{v.Dim},
+				Seeds: []int64{v.rng.Int63()}, Floats: [][]float64{{v.P}}}
+		case *Conv2D:
+			s = snapshot{Kind: "conv2d",
+				Ints:   []int{v.InC, v.InH, v.InW, v.OutC, v.K, v.Stride, v.Pad},
+				Floats: [][]float64{append([]float64(nil), v.W.Data...), append([]float64(nil), v.B...)}}
+		case *MaxPool2D:
+			s = snapshot{Kind: "maxpool2d", Ints: []int{v.C, v.H, v.W, v.Size}}
+		case *BatchNorm:
+			s = snapshot{Kind: "batchnorm", Ints: []int{v.Dim},
+				Floats: [][]float64{
+					append([]float64(nil), v.Gamma...),
+					append([]float64(nil), v.Beta...),
+					append([]float64(nil), v.RunMean...),
+					append([]float64(nil), v.RunVar...),
+					{v.Eps, v.Momentum},
+				}}
+		default:
+			return fmt.Errorf("nn: cannot serialize layer %T", l)
+		}
+		file.Layers = append(file.Layers, s)
+	}
+	if err := gob.NewEncoder(w).Encode(file); err != nil {
+		return fmt.Errorf("nn: encode network: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a network saved with Save.
+func Load(r io.Reader) (*Network, error) {
+	var file netFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("nn: decode network: %w", err)
+	}
+	if file.Version != formatVersion {
+		return nil, fmt.Errorf("nn: unsupported format version %d", file.Version)
+	}
+	net := &Network{}
+	for i, s := range file.Layers {
+		l, err := restoreLayer(s)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d: %w", i, err)
+		}
+		net.Layers = append(net.Layers, l)
+	}
+	return net, nil
+}
+
+func restoreLayer(s snapshot) (Layer, error) {
+	switch s.Kind {
+	case "dense":
+		if len(s.Ints) != 2 || len(s.Floats) != 2 {
+			return nil, fmt.Errorf("malformed dense snapshot")
+		}
+		d := NewDense(s.Ints[0], s.Ints[1])
+		if len(s.Floats[0]) != len(d.W.Data) || len(s.Floats[1]) != len(d.B) {
+			return nil, fmt.Errorf("dense weight size mismatch")
+		}
+		copy(d.W.Data, s.Floats[0])
+		copy(d.B, s.Floats[1])
+		return d, nil
+	case "relu":
+		if len(s.Ints) != 1 {
+			return nil, fmt.Errorf("malformed relu snapshot")
+		}
+		return NewReLU(s.Ints[0]), nil
+	case "dropout":
+		if len(s.Ints) != 1 || len(s.Seeds) != 1 || len(s.Floats) != 1 || len(s.Floats[0]) != 1 {
+			return nil, fmt.Errorf("malformed dropout snapshot")
+		}
+		return NewDropout(s.Ints[0], s.Floats[0][0], s.Seeds[0]), nil
+	case "conv2d":
+		if len(s.Ints) != 7 || len(s.Floats) != 2 {
+			return nil, fmt.Errorf("malformed conv2d snapshot")
+		}
+		c := NewConv2D(s.Ints[0], s.Ints[1], s.Ints[2], s.Ints[3], s.Ints[4], s.Ints[5], s.Ints[6])
+		if len(s.Floats[0]) != len(c.W.Data) || len(s.Floats[1]) != len(c.B) {
+			return nil, fmt.Errorf("conv2d weight size mismatch")
+		}
+		copy(c.W.Data, s.Floats[0])
+		copy(c.B, s.Floats[1])
+		return c, nil
+	case "maxpool2d":
+		if len(s.Ints) != 4 {
+			return nil, fmt.Errorf("malformed maxpool2d snapshot")
+		}
+		return NewMaxPool2D(s.Ints[0], s.Ints[1], s.Ints[2], s.Ints[3]), nil
+	case "batchnorm":
+		if len(s.Ints) != 1 || len(s.Floats) != 5 || len(s.Floats[4]) != 2 {
+			return nil, fmt.Errorf("malformed batchnorm snapshot")
+		}
+		bn := NewBatchNorm(s.Ints[0])
+		if len(s.Floats[0]) != bn.Dim {
+			return nil, fmt.Errorf("batchnorm size mismatch")
+		}
+		copy(bn.Gamma, s.Floats[0])
+		copy(bn.Beta, s.Floats[1])
+		copy(bn.RunMean, s.Floats[2])
+		copy(bn.RunVar, s.Floats[3])
+		bn.Eps, bn.Momentum = s.Floats[4][0], s.Floats[4][1]
+		return bn, nil
+	default:
+		return nil, fmt.Errorf("unknown layer kind %q", s.Kind)
+	}
+}

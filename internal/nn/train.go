@@ -1,0 +1,230 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/golitho/hsd/internal/tensor"
+)
+
+// TrainConfig parameterizes Trainer.Fit.
+type TrainConfig struct {
+	// Epochs over the training data (default 10).
+	Epochs int
+	// BatchSize per gradient step (default 32).
+	BatchSize int
+	// Optimizer defaults to Adam(1e-3).
+	Optimizer Optimizer
+	// Loss carries the biased-learning epsilon.
+	Loss SoftmaxCE
+	// Seed drives weight init and shuffling.
+	Seed int64
+	// LRStepEvery, when positive, multiplies the optimizer learning rate
+	// by LRStepFactor after every LRStepEvery epochs (step decay).
+	LRStepEvery  int
+	LRStepFactor float64
+	// Verbose receives one line per epoch when non-nil.
+	Verbose func(format string, args ...any)
+}
+
+// lrScalable is satisfied by optimizers supporting learning-rate decay.
+type lrScalable interface{ scaleLR(f float64) }
+
+func (c *TrainConfig) normalize() {
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Optimizer == nil {
+		c.Optimizer = NewAdam(1e-3)
+	}
+}
+
+// EpochStats records one epoch of training history.
+type EpochStats struct {
+	Epoch int
+	Loss  float64
+	Acc   float64
+}
+
+// Fit trains net in place on X (rows) with labels y, returning the
+// per-epoch history. Weights are (re)initialized from the seed.
+func Fit(net *Network, x [][]float64, y []int, cfg TrainConfig) ([]EpochStats, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("nn: bad training set: %d samples, %d labels", n, len(y))
+	}
+	dim := len(x[0])
+	for i := range x {
+		if len(x[i]) != dim {
+			return nil, fmt.Errorf("nn: sample %d has dim %d, want %d", i, len(x[i]), dim)
+		}
+		if y[i] != 0 && y[i] != 1 {
+			return nil, fmt.Errorf("nn: label %d at sample %d (want 0/1)", y[i], i)
+		}
+	}
+	if net.OutDim() != 2 {
+		return nil, errors.New("nn: network must end with 2 logits")
+	}
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	net.Init(rng)
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	var history []EpochStats
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var lossSum float64
+		correct, batches := 0, 0
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			bs := end - start
+			xb := tensor.NewMatrix(bs, dim)
+			yb := make([]int, bs)
+			for i := 0; i < bs; i++ {
+				copy(xb.Row(i), x[order[start+i]])
+				yb[i] = y[order[start+i]]
+			}
+			logits := net.Forward(xb, true)
+			loss, grad, c := cfg.Loss.Loss(logits, yb)
+			net.ZeroGrad()
+			net.Backward(grad)
+			cfg.Optimizer.Step(net.Params())
+			lossSum += loss
+			correct += c
+			batches++
+		}
+		st := EpochStats{
+			Epoch: epoch,
+			Loss:  lossSum / float64(batches),
+			Acc:   float64(correct) / float64(n),
+		}
+		history = append(history, st)
+		if cfg.Verbose != nil {
+			cfg.Verbose("epoch %d: loss=%.4f acc=%.4f", st.Epoch, st.Loss, st.Acc)
+		}
+		if cfg.LRStepEvery > 0 && cfg.LRStepFactor > 0 && epoch%cfg.LRStepEvery == 0 {
+			if s, ok := cfg.Optimizer.(lrScalable); ok {
+				s.scaleLR(cfg.LRStepFactor)
+			}
+		}
+	}
+	return history, nil
+}
+
+// ScoreBatch returns the hotspot probability for each input row.
+func ScoreBatch(net *Network, x [][]float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, nil
+	}
+	dim := len(x[0])
+	const chunk = 64
+	out := make([]float64, 0, len(x))
+	for start := 0; start < len(x); start += chunk {
+		end := start + chunk
+		if end > len(x) {
+			end = len(x)
+		}
+		xb := tensor.NewMatrix(end-start, dim)
+		for i := start; i < end; i++ {
+			if len(x[i]) != dim {
+				return nil, fmt.Errorf("nn: sample %d has dim %d, want %d", i, len(x[i]), dim)
+			}
+			copy(xb.Row(i-start), x[i])
+		}
+		logits := net.Forward(xb, false)
+		out = append(out, Probabilities(logits)...)
+	}
+	return out, nil
+}
+
+// Score returns the hotspot probability of a single sample.
+func Score(net *Network, x []float64) float64 {
+	xb, err := tensor.FromSlice(1, len(x), x)
+	if err != nil {
+		return 0
+	}
+	return Probabilities(net.Forward(xb, false))[0]
+}
+
+// BuildMLP assembles in -> hidden... -> 2 with ReLU activations, the
+// shallow artificial-neural-network baseline.
+func BuildMLP(in int, hidden ...int) *Network {
+	var layers []Layer
+	prev := in
+	for _, h := range hidden {
+		layers = append(layers, NewDense(prev, h), NewReLU(h))
+		prev = h
+	}
+	layers = append(layers, NewDense(prev, 2))
+	return NewNetwork(layers...)
+}
+
+// CNNConfig describes the hotspot CNN topology over a (C, H, W) feature
+// tensor input.
+type CNNConfig struct {
+	InC, InH, InW int
+	// Conv1 and Conv2 are output channel counts of the two 3x3 conv
+	// stages (each followed by ReLU and 2x2 max pooling).
+	Conv1, Conv2 int
+	// Hidden is the fully connected width before the 2-logit head.
+	Hidden int
+	// DropoutP > 0 inserts dropout before the head.
+	DropoutP float64
+	// BatchNorm inserts batch normalization after each convolution.
+	BatchNorm bool
+	// Seed drives dropout randomness.
+	Seed int64
+}
+
+// DefaultCNNConfig mirrors the feature-tensor CNN of the deep hotspot
+// detection literature, scaled to the 16x16x16 DCT tensor.
+func DefaultCNNConfig(inC, inH, inW int) CNNConfig {
+	return CNNConfig{
+		InC: inC, InH: inH, InW: inW,
+		Conv1: 24, Conv2: 32, Hidden: 64, DropoutP: 0.1,
+	}
+}
+
+// BuildCNN assembles conv-relu-pool x2 -> dense -> relu -> [dropout] ->
+// dense(2). Input height/width must be divisible by 4.
+func BuildCNN(cfg CNNConfig) (*Network, error) {
+	if cfg.InH%4 != 0 || cfg.InW%4 != 0 {
+		return nil, fmt.Errorf("nn: CNN input %dx%d must be divisible by 4", cfg.InH, cfg.InW)
+	}
+	if cfg.InC <= 0 || cfg.Conv1 <= 0 || cfg.Conv2 <= 0 || cfg.Hidden <= 0 {
+		return nil, fmt.Errorf("nn: CNN config has nonpositive sizes: %+v", cfg)
+	}
+	conv1 := NewConv2D(cfg.InC, cfg.InH, cfg.InW, cfg.Conv1, 3, 1, 1)
+	pool1 := NewMaxPool2D(cfg.Conv1, cfg.InH, cfg.InW, 2)
+	h2, w2 := cfg.InH/2, cfg.InW/2
+	conv2 := NewConv2D(cfg.Conv1, h2, w2, cfg.Conv2, 3, 1, 1)
+	pool2 := NewMaxPool2D(cfg.Conv2, h2, w2, 2)
+	flat := cfg.Conv2 * (h2 / 2) * (w2 / 2)
+	layers := []Layer{conv1}
+	if cfg.BatchNorm {
+		layers = append(layers, NewBatchNorm(conv1.OutDim()))
+	}
+	layers = append(layers, NewReLU(conv1.OutDim()), pool1, conv2)
+	if cfg.BatchNorm {
+		layers = append(layers, NewBatchNorm(conv2.OutDim()))
+	}
+	layers = append(layers,
+		NewReLU(conv2.OutDim()), pool2,
+		NewDense(flat, cfg.Hidden), NewReLU(cfg.Hidden),
+	)
+	if cfg.DropoutP > 0 {
+		layers = append(layers, NewDropout(cfg.Hidden, cfg.DropoutP, cfg.Seed+99))
+	}
+	layers = append(layers, NewDense(cfg.Hidden, 2))
+	return NewNetwork(layers...), nil
+}

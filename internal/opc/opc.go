@@ -1,0 +1,179 @@
+// Package opc implements a compact rule/model-hybrid optical proximity
+// correction loop on top of the lithography oracle: detected printing
+// failures drive local mask edits (width biasing and line-end extension)
+// until the clip prints cleanly or the iteration budget runs out.
+//
+// This is the downstream consumer the hotspot-detection literature
+// motivates: a detector flags windows, the simulator confirms defects,
+// and OPC repairs them — orders of magnitude cheaper than full-chip
+// inverse lithography.
+package opc
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/lithosim"
+)
+
+// Config controls the correction loop.
+type Config struct {
+	// MaxIter bounds the simulate-and-edit rounds (default 6).
+	MaxIter int
+	// StepNM is the mask edit granularity (default 8, one raster pixel).
+	StepNM int
+	// MaxBiasNM bounds the total bias applied to any single edge
+	// (default 32): real masks cannot grow without violating spacing.
+	MaxBiasNM int
+}
+
+func (c *Config) normalize() {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 6
+	}
+	if c.StepNM <= 0 {
+		c.StepNM = 8
+	}
+	if c.MaxBiasNM <= 0 {
+		c.MaxBiasNM = 32
+	}
+}
+
+// Result reports one correction attempt.
+type Result struct {
+	// Corrected is the edited clip (equal to the input when no edits
+	// were possible).
+	Corrected layout.Clip
+	// Fixed is true when the corrected clip prints without defects.
+	Fixed bool
+	// Iterations actually used.
+	Iterations int
+	// Remaining holds the defects of the final clip (empty when Fixed).
+	Remaining []lithosim.Defect
+}
+
+// Correct attempts to repair the clip's printing failures.
+//
+// Edits per defect type:
+//   - neck/open: widen the offending feature symmetrically;
+//   - EPE (line-end pullback): widen the feature (hammerhead effect);
+//   - bridge: uncorrectable by growth rules (it needs spacing, i.e. a
+//     shrink that would break connectivity) — left to the router.
+func Correct(sim *lithosim.Simulator, clip layout.Clip, cfg Config) (Result, error) {
+	cfg.normalize()
+	cur := cloneClip(clip)
+	bias := make([]int, len(cur.Shapes)) // total growth applied per shape
+
+	res := Result{}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		verdict, err := sim.Simulate(cur)
+		if err != nil {
+			return Result{}, fmt.Errorf("opc: simulate: %w", err)
+		}
+		res.Iterations = iter
+		if !verdict.Hotspot {
+			res.Corrected = cur
+			res.Fixed = true
+			return res, nil
+		}
+		edited := false
+		for _, d := range verdict.Defects {
+			i := nearestShape(cur.Shapes, d.At)
+			if i < 0 || bias[i] >= cfg.MaxBiasNM {
+				continue
+			}
+			s := cur.Shapes[i]
+			switch d.Type {
+			case lithosim.DefectNeck, lithosim.DefectOpen:
+				cur.Shapes[i] = widen(s, cfg.StepNM)
+				bias[i] += cfg.StepNM
+				edited = true
+			case lithosim.DefectEPE:
+				// In this framework the drawn shape is both mask and
+				// target, so extending a line end moves the target with
+				// it and never closes the gap. Widening works: a wider
+				// tip has a stronger aerial image and pulls back less
+				// (the hammerhead effect).
+				cur.Shapes[i] = widen(s, cfg.StepNM)
+				bias[i] += cfg.StepNM
+				edited = true
+			case lithosim.DefectBridge:
+				// Growth rules cannot fix a short; skip.
+			}
+		}
+		if !edited {
+			res.Corrected = cur
+			res.Remaining = verdict.Defects
+			return res, nil
+		}
+	}
+	verdict, err := sim.Simulate(cur)
+	if err != nil {
+		return Result{}, fmt.Errorf("opc: final simulate: %w", err)
+	}
+	res.Corrected = cur
+	res.Fixed = !verdict.Hotspot
+	res.Remaining = verdict.Defects
+	res.Iterations = cfg.MaxIter
+	return res, nil
+}
+
+func cloneClip(clip layout.Clip) layout.Clip {
+	out := clip
+	out.Shapes = make([]geom.Rect, len(clip.Shapes))
+	copy(out.Shapes, clip.Shapes)
+	return out
+}
+
+// nearestShape returns the index of the shape closest to p, or -1.
+func nearestShape(shapes []geom.Rect, p geom.Point) int {
+	best, bestD := -1, int64(math.MaxInt64)
+	for i, s := range shapes {
+		d := pointRectDistSq(p, s)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func pointRectDistSq(p geom.Point, r geom.Rect) int64 {
+	dx, dy := 0, 0
+	switch {
+	case p.X < r.Min.X:
+		dx = r.Min.X - p.X
+	case p.X >= r.Max.X:
+		dx = p.X - r.Max.X + 1
+	}
+	switch {
+	case p.Y < r.Min.Y:
+		dy = r.Min.Y - p.Y
+	case p.Y >= r.Max.Y:
+		dy = p.Y - r.Max.Y + 1
+	}
+	return int64(dx)*int64(dx) + int64(dy)*int64(dy)
+}
+
+// widen grows the rect by step/2 on both sides of its short axis
+// (step total), keeping the centreline fixed.
+func widen(r geom.Rect, step int) geom.Rect {
+	h := step / 2
+	if h < 1 {
+		h = step
+	}
+	if r.Dx() < r.Dy() { // vertical feature: widen in x
+		return geom.R(r.Min.X-h, r.Min.Y, r.Max.X+h, r.Max.Y)
+	}
+	return geom.R(r.Min.X, r.Min.Y-h, r.Max.X, r.Max.Y+h)
+}
+
+// extend grows the rect by step on both ends of its long axis
+// (hammerhead-free line-end extension).
+func extend(r geom.Rect, step int) geom.Rect {
+	if r.Dx() >= r.Dy() { // horizontal feature: extend in x
+		return geom.R(r.Min.X-step, r.Min.Y, r.Max.X+step, r.Max.Y)
+	}
+	return geom.R(r.Min.X, r.Min.Y-step, r.Max.X, r.Max.Y+step)
+}

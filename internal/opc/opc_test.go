@@ -1,0 +1,161 @@
+package opc
+
+import (
+	"testing"
+
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/lithosim"
+)
+
+func sim(t *testing.T) *lithosim.Simulator {
+	t.Helper()
+	s, err := lithosim.New(lithosim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func clipOf(t *testing.T, shapes ...geom.Rect) layout.Clip {
+	t.Helper()
+	l := layout.New("opc")
+	for _, s := range shapes {
+		if err := l.AddRect(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clip, err := l.ClipAt(geom.Pt(512, 512), 1024, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clip
+}
+
+func TestCorrectNarrowLine(t *testing.T) {
+	s := sim(t)
+	// A 48 nm line fails to print at defocus; widening should fix it.
+	clip := clipOf(t, geom.R(0, 488, 1024, 536))
+	pre, err := s.Simulate(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre.Hotspot {
+		t.Fatal("test premise broken: 48 nm line should be a hotspot")
+	}
+	res, err := Correct(s, clip, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fixed {
+		t.Fatalf("OPC failed to fix a narrow line: remaining %v", res.Remaining)
+	}
+	// The corrected feature must be wider than drawn.
+	if res.Corrected.Shapes[0].Dy() <= clip.Shapes[0].Dy() {
+		t.Fatal("correction did not widen the feature")
+	}
+	// The input clip must not be mutated.
+	if clip.Shapes[0].Dy() != 48 {
+		t.Fatal("input clip mutated")
+	}
+}
+
+func TestCorrectLineEndPullback(t *testing.T) {
+	s := sim(t)
+	// A 72 nm line ending mid-core pulls back; extension should fix it.
+	clip := clipOf(t, geom.R(0, 476, 512, 548))
+	pre, err := s.Simulate(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre.Hotspot {
+		t.Skip("line end not a hotspot under current oracle tuning")
+	}
+	res, err := Correct(s, clip, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fixed {
+		t.Fatalf("OPC failed to fix line-end pullback: remaining %v", res.Remaining)
+	}
+}
+
+func TestBridgeUncorrectable(t *testing.T) {
+	s := sim(t)
+	// 36 nm space bridges; growth rules must refuse and report.
+	clip := clipOf(t,
+		geom.R(0, 400, 1024, 500),
+		geom.R(0, 536, 1024, 636),
+	)
+	res, err := Correct(s, clip, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fixed {
+		t.Fatal("bridge reported as fixed by growth-only OPC")
+	}
+	if len(res.Remaining) == 0 {
+		t.Fatal("no remaining defects reported")
+	}
+}
+
+func TestCleanClipUntouched(t *testing.T) {
+	s := sim(t)
+	clip := clipOf(t, geom.R(0, 462, 1024, 562))
+	res, err := Correct(s, clip, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fixed || res.Iterations != 0 {
+		t.Fatalf("clean clip handled wrongly: %+v", res)
+	}
+	if !res.Corrected.Shapes[0].Eq(clip.Shapes[0]) {
+		t.Fatal("clean clip edited")
+	}
+}
+
+func TestBiasCap(t *testing.T) {
+	s := sim(t)
+	// A hopeless 24 nm line: the bias cap must stop the loop.
+	clip := clipOf(t, geom.R(0, 500, 1024, 524))
+	res, err := Correct(s, clip, Config{MaxIter: 10, StepNM: 8, MaxBiasNM: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := res.Corrected.Shapes[0].Dy() - clip.Shapes[0].Dy()
+	if grown > 16 {
+		t.Fatalf("bias cap exceeded: grew %d nm", grown)
+	}
+}
+
+func TestWidenExtendGeometry(t *testing.T) {
+	v := geom.R(100, 0, 160, 500) // vertical: 60 wide
+	w := widen(v, 8)
+	if w.Dx() != 68 || w.Dy() != 500 {
+		t.Fatalf("widen vertical = %v", w)
+	}
+	e := extend(v, 8)
+	if e.Dy() != 516 || e.Dx() != 60 {
+		t.Fatalf("extend vertical = %v", e)
+	}
+	hz := geom.R(0, 100, 500, 160)
+	if widen(hz, 8).Dy() != 68 {
+		t.Fatal("widen horizontal wrong axis")
+	}
+	if extend(hz, 8).Dx() != 516 {
+		t.Fatal("extend horizontal wrong axis")
+	}
+}
+
+func TestNearestShape(t *testing.T) {
+	shapes := []geom.Rect{geom.R(0, 0, 10, 10), geom.R(100, 100, 110, 110)}
+	if i := nearestShape(shapes, geom.Pt(5, 5)); i != 0 {
+		t.Fatalf("nearest = %d", i)
+	}
+	if i := nearestShape(shapes, geom.Pt(99, 99)); i != 1 {
+		t.Fatalf("nearest = %d", i)
+	}
+	if i := nearestShape(nil, geom.Pt(0, 0)); i != -1 {
+		t.Fatalf("empty nearest = %d", i)
+	}
+}

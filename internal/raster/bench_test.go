@@ -1,0 +1,25 @@
+package raster
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/golitho/hsd/internal/geom"
+)
+
+func BenchmarkRasterize128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var shapes []geom.Rect
+	for i := 0; i < 30; i++ {
+		x, y := rng.Intn(900), rng.Intn(900)
+		shapes = append(shapes, geom.R(x, y, x+100, y+80))
+	}
+	cfg := Config{Window: geom.R(0, 0, 1024, 1024), PixelNM: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Rasterize(cfg, shapes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package serve exposes a trained hotspot detector as an HTTP service:
+// physical-verification flows POST layout clips and receive JSON
+// verdicts, optionally backed by lithography-simulation verification.
+//
+// Endpoints:
+//
+//	POST /score   body: GLT layout of one clip window -> {"score":..,"hotspot":..}
+//	POST /verify  same body -> full oracle verdict with defects
+//	GET  /healthz -> {"status":"ok","detector":"..."}
+//
+// The service is stateless per request and safe for concurrent use: the
+// detector is cloned per request when it is not concurrency-safe.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/golitho/hsd/internal/core"
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/lithosim"
+)
+
+// maxBodyBytes bounds accepted request bodies (a clip is a few KiB).
+const maxBodyBytes = 4 << 20
+
+// Server wires a fitted detector (and optionally the oracle) into an
+// http.Handler.
+type Server struct {
+	det core.Detector
+	sim *lithosim.Simulator
+
+	// clipNM/coreFrac describe the windows the detector was trained on.
+	clipNM   int
+	coreFrac float64
+
+	mu    sync.Mutex
+	clone core.Detector // reused single clone for non-concurrent detectors
+}
+
+// New constructs a Server. det must already be fitted; sim may be nil to
+// disable /verify.
+func New(det core.Detector, sim *lithosim.Simulator, clipNM int, coreFrac float64) (*Server, error) {
+	if det == nil {
+		return nil, fmt.Errorf("serve: nil detector")
+	}
+	if clipNM <= 0 {
+		clipNM = 1024
+	}
+	if coreFrac <= 0 || coreFrac > 1 {
+		coreFrac = 0.5
+	}
+	s := &Server{det: det, sim: sim, clipNM: clipNM, coreFrac: coreFrac}
+	if c, ok := det.(core.Cloner); ok {
+		s.clone = c.CloneDetector()
+	}
+	return s, nil
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/score", s.handleScore)
+	mux.HandleFunc("/verify", s.handleVerify)
+	return mux
+}
+
+// ScoreResponse is the /score reply.
+type ScoreResponse struct {
+	Detector  string  `json:"detector"`
+	Score     float64 `json:"score"`
+	Threshold float64 `json:"threshold"`
+	Hotspot   bool    `json:"hotspot"`
+}
+
+// VerifyResponse is the /verify reply.
+type VerifyResponse struct {
+	Hotspot    bool         `json:"hotspot"`
+	PVBandArea float64      `json:"pvBandArea"`
+	Defects    []DefectJSON `json:"defects"`
+}
+
+// DefectJSON is one defect in a /verify reply.
+type DefectJSON struct {
+	Type   string `json:"type"`
+	Corner string `json:"corner"`
+	X      int    `json:"x"`
+	Y      int    `json:"y"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":   "ok",
+		"detector": s.det.Name(),
+	})
+}
+
+// readClip parses the request body (GLT layout) into a centred clip.
+func (s *Server) readClip(r *http.Request) (layout.Clip, error) {
+	l, err := layout.Read(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		return layout.Clip{}, fmt.Errorf("parse layout: %w", err)
+	}
+	b := l.Bounds()
+	if b.Empty() {
+		return layout.Clip{}, fmt.Errorf("layout has no shapes")
+	}
+	c := b.Center()
+	return l.ClipAt(geom.Pt(c.X, c.Y), s.clipNM, s.coreFrac)
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	clip, err := s.readClip(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	score, err := s.score(clip)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, ScoreResponse{
+		Detector:  s.det.Name(),
+		Score:     score,
+		Threshold: s.det.Threshold(),
+		Hotspot:   score >= s.det.Threshold(),
+	})
+}
+
+// score runs the detector, serializing access when it is not
+// concurrency-safe.
+func (s *Server) score(clip layout.Clip) (float64, error) {
+	if s.clone != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.clone.Score(clip)
+	}
+	return s.det.Score(clip)
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.sim == nil {
+		http.Error(w, "verification disabled", http.StatusNotImplemented)
+		return
+	}
+	clip, err := s.readClip(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.sim.Simulate(clip)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := VerifyResponse{Hotspot: res.Hotspot, PVBandArea: res.PVBandArea}
+	for _, d := range res.Defects {
+		out.Defects = append(out.Defects, DefectJSON{
+			Type: d.Type.String(), Corner: d.Corner, X: d.At.X, Y: d.At.Y,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header are unrecoverable mid-response;
+	// the client sees a truncated body.
+	_ = json.NewEncoder(w).Encode(v)
+}

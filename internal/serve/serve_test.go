@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/golitho/hsd/internal/core"
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/lithosim"
+)
+
+// thresholdDetector flags clips whose drawn density exceeds 0.3.
+type thresholdDetector struct{}
+
+func (thresholdDetector) Name() string                       { return "density-threshold" }
+func (thresholdDetector) Fit(train []core.LabeledClip) error { return nil }
+func (thresholdDetector) Threshold() float64                 { return 0.3 }
+func (thresholdDetector) Score(clip layout.Clip) (float64, error) {
+	return clip.Density(), nil
+}
+
+func gltBody(t *testing.T, shapes ...geom.Rect) *bytes.Buffer {
+	t.Helper()
+	l := layout.New("req")
+	for _, s := range shapes {
+		if err := l.AddRect(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := layout.Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func newTestServer(t *testing.T, withSim bool) *httptest.Server {
+	t.Helper()
+	var sim *lithosim.Simulator
+	if withSim {
+		var err error
+		sim, err = lithosim.New(lithosim.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(thresholdDetector{}, sim, 1024, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, false)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" || body["detector"] != "density-threshold" {
+		t.Fatalf("body = %v", body)
+	}
+}
+
+func TestScoreEndpoint(t *testing.T) {
+	ts := newTestServer(t, false)
+	// Dense clip: a big block -> hotspot under the threshold detector.
+	resp, err := http.Post(ts.URL+"/score", "text/plain",
+		gltBody(t, geom.R(0, 0, 1024, 1024)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out ScoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Hotspot || out.Score < 0.9 {
+		t.Fatalf("dense clip verdict = %+v", out)
+	}
+
+	// Sparse clip: not a hotspot.
+	resp2, err := http.Post(ts.URL+"/score", "text/plain",
+		gltBody(t, geom.R(0, 0, 64, 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out2 ScoreResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Hotspot {
+		t.Fatalf("sparse clip flagged: %+v", out2)
+	}
+}
+
+func TestScoreRejectsBadRequests(t *testing.T) {
+	ts := newTestServer(t, false)
+	resp, err := http.Post(ts.URL+"/score", "text/plain", strings.NewReader("not glt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage status = %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp2, err := http.Get(ts.URL + "/score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", resp2.StatusCode)
+	}
+	// Empty layout.
+	resp3, err := http.Post(ts.URL+"/score", "text/plain",
+		strings.NewReader("GLT 1\nLAYOUT x\nEND\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty layout status = %d", resp3.StatusCode)
+	}
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	ts := newTestServer(t, true)
+	// Two lines 36 nm apart centred in the window: a bridge hotspot.
+	resp, err := http.Post(ts.URL+"/verify", "text/plain",
+		gltBody(t, geom.R(0, 400, 1024, 500), geom.R(0, 536, 1024, 636)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out VerifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Hotspot || len(out.Defects) == 0 {
+		t.Fatalf("bridge pair verdict = %+v", out)
+	}
+	if out.Defects[0].Type != "bridge" {
+		t.Fatalf("first defect = %+v, want bridge", out.Defects[0])
+	}
+}
+
+func TestVerifyDisabled(t *testing.T) {
+	ts := newTestServer(t, false)
+	resp, err := http.Post(ts.URL+"/verify", "text/plain",
+		gltBody(t, geom.R(0, 0, 100, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestConcurrentScoring(t *testing.T) {
+	ts := newTestServer(t, false)
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/score", "text/plain",
+				gltBody(t, geom.R(0, 0, 512, 1024)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var out ScoreResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs[i] = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, 0, 0); err == nil {
+		t.Fatal("nil detector accepted")
+	}
+}

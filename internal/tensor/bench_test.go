@@ -1,0 +1,31 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(128, 128)
+	a.Randomize(rng, 1)
+	c := NewMatrix(128, 128)
+	c.Randomize(rng, 1)
+	dst := NewMatrix(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a, c)
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMatrix(256, 2)
+	m.Randomize(rng, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SoftmaxRows()
+	}
+}

@@ -1,0 +1,193 @@
+// Package tensor provides the small dense linear-algebra kernel used by
+// the machine-learning detectors: row-major float64 matrices with the
+// operations training needs (matmul, transpose, axpy, softmax rows).
+//
+// The implementation favours clarity and cache-friendly loops over
+// assembly-level tuning; sizes in hotspot detection are modest (feature
+// dimensions in the thousands, batches in the hundreds).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed r x c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (not copied) as an r x c matrix.
+func FromSlice(r, c int, data []float64) (*Matrix, error) {
+	if len(data) != r*c {
+		return nil, fmt.Errorf("tensor: data length %d != %d x %d", len(data), r, c)
+	}
+	return &Matrix{Rows: r, Cols: c, Data: data}, nil
+}
+
+// At returns element (i, j) without bounds checking beyond the slice's own.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Randomize fills m with N(0, scale) entries from rng.
+func (m *Matrix) Randomize(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * scale
+	}
+}
+
+// MatMul computes a * b into a new matrix. Panics on dimension mismatch
+// are avoided: it returns an error instead.
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("tensor: matmul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out, nil
+}
+
+// MatMulInto computes dst = a * b; dst must be pre-sized a.Rows x b.Cols.
+// The i-k-j loop order keeps the inner loop contiguous in both b and dst.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shapes %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// Transpose returns a new matrix that is m transposed.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// AddRowVector adds vector v to every row of m in place.
+func (m *Matrix) AddRowVector(v []float64) error {
+	if len(v) != m.Cols {
+		return fmt.Errorf("tensor: row vector length %d != cols %d", len(v), m.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+	return nil
+}
+
+// Scale multiplies every element by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Axpy computes y += alpha * x element-wise over the raw data; the two
+// matrices must have identical shapes.
+func Axpy(alpha float64, x, y *Matrix) error {
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		return fmt.Errorf("tensor: axpy shape %dx%d vs %dx%d", x.Rows, x.Cols, y.Rows, y.Cols)
+	}
+	for i := range x.Data {
+		y.Data[i] += alpha * x.Data[i]
+	}
+	return nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// SoftmaxRows applies an in-place numerically stable softmax to each row.
+func (m *Matrix) SoftmaxRows() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			row[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// ArgmaxRow returns the index of the maximum element in row i.
+func (m *Matrix) ArgmaxRow(i int) int {
+	row := m.Row(i)
+	best, bestV := 0, math.Inf(-1)
+	for j, v := range row {
+		if v > bestV {
+			best, bestV = j, v
+		}
+	}
+	return best
+}

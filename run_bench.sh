@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates bench_output.txt in three chunks (single-core friendly).
+set -e
+cd /root/repo
+: > bench_output.txt
+echo "# chunk A: evaluation tables (zoo) + Fig.2" >> bench_output.txt
+go test -timeout 60m -bench 'Table|Fig2' -benchmem -run XXX . >> bench_output.txt 2>&1
+echo "# chunk B: figures and ablations" >> bench_output.txt
+go test -timeout 60m -bench 'Fig3|Fig4|Fig5|Fig6|Ablation' -benchmem -run XXX . >> bench_output.txt 2>&1
+echo "# chunk C: micro-benchmarks" >> bench_output.txt
+go test -timeout 60m -bench . -benchmem -run XXX ./internal/... >> bench_output.txt 2>&1
+echo "# done" >> bench_output.txt

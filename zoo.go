@@ -1,0 +1,130 @@
+package hsd
+
+import (
+	"github.com/golitho/hsd/internal/nn"
+	"github.com/golitho/hsd/internal/svm"
+)
+
+// DetectorSpec names a ready-made detector configuration together with the
+// training-set augmentation it is evaluated with. The zoo below is the
+// survey's cast of characters with tuned-for-this-repo hyperparameters;
+// the benchmark harness and CLI tools share it so every experiment runs
+// the same configurations.
+type DetectorSpec struct {
+	// Name is the row label used in tables.
+	Name string
+	// Deep marks the CNN-era detectors (Table III vs Table II).
+	Deep bool
+	// New constructs a fresh detector (no state shared across benchmarks).
+	New func() Detector
+	// Augment is applied to the training split before fitting.
+	Augment AugmentConfig
+}
+
+// shallowFeatures is the shared feature view of the shallow learners:
+// hand-crafted geometric statistics (the critical-dimension histograms of
+// the pre-deep era) fused with a 32 nm density grid and radial CCAS
+// sampling.
+func shallowFeatures() FeatureExtractor {
+	return NewConcatFeatures(
+		&GeomStats{},
+		&Density{Grid: 32},
+		&CCAS{Rings: 8, Sectors: 12},
+	)
+}
+
+// deepFeatures is the CNN feature tensor: 16x16 blocks of 8 px, first 16
+// zigzag DCT coefficients per block (a 16x16x16 tensor).
+func deepFeatures() *DCTFeatures { return &DCTFeatures{Blocks: 16, Coefs: 16} }
+
+// StandardPM is exact pattern matching with mirror augmentation.
+func StandardPM() Detector {
+	return NewPMDetector(PMConfig{GridPx: 32, Tol: 0, Mirror: true})
+}
+
+// StandardFuzzyPM is Hamming-tolerant pattern matching.
+func StandardFuzzyPM() Detector {
+	return NewPMDetector(PMConfig{GridPx: 32, Tol: 36, Mirror: true})
+}
+
+// StandardSVM is the linear soft-margin SVM with hotspot-weighted C.
+func StandardSVM(seed int64) Detector {
+	return NewSVMDetector(shallowFeatures(), SVMConfig{
+		Kernel: LinearKernel{}, C: 1, PosWeight: 8, Seed: seed, MaxIter: 120,
+	})
+}
+
+// StandardRBFSVM is the Gaussian-kernel SVM variant.
+func StandardRBFSVM(seed int64) Detector {
+	ex := shallowFeatures()
+	return NewSVMDetector(ex, SVMConfig{
+		Kernel: svm.RBF{Gamma: 0.1 / float64(ex.Dim())},
+		C:      10, PosWeight: 4, Seed: seed, MaxIter: 120,
+	})
+}
+
+// StandardAdaBoost is class-balanced AdaBoost over decision stumps.
+func StandardAdaBoost() Detector {
+	return NewBoostDetector(shallowFeatures(), BoostConfig{Rounds: 150, ClassBalance: true})
+}
+
+// StandardForest is a class-balanced random forest.
+func StandardForest(seed int64) Detector {
+	return NewForestDetector(shallowFeatures(), ForestConfig{
+		Trees: 60, Seed: seed, ClassBalance: true,
+		Tree: TreeConfig{MaxDepth: 10},
+	})
+}
+
+// StandardMLP is the shallow neural-network baseline.
+func StandardMLP(seed int64) Detector {
+	return NewMLPDetector(shallowFeatures(), []int{64, 32}, TrainConfig{
+		Epochs: 40, BatchSize: 32, Seed: seed,
+		Optimizer: nn.NewAdam(1e-3),
+	})
+}
+
+// StandardCNN is the feature-tensor CNN with the given biased-learning
+// epsilon (0 disables biased learning) and training epochs.
+func StandardCNN(seed int64, biasEps float64, label string) *NeuralDetector {
+	ex := deepFeatures()
+	det := NewCNNDetector(ex,
+		CNNConfig{Conv1: 16, Conv2: 24, Hidden: 48, DropoutP: 0.1, Seed: seed},
+		TrainConfig{
+			Epochs: 16, BatchSize: 32, Seed: seed,
+			Optimizer: nn.NewAdam(1e-3),
+			Loss:      nn.SoftmaxCE{BiasEps: biasEps},
+		},
+		label)
+	// DCT tensors are already bounded; standardizing them amplifies
+	// near-constant high-frequency channels into noise.
+	det.NoScale = true
+	return det
+}
+
+// StandardAugment is the imbalance treatment of the deep detectors:
+// 4x minority upsampling with mirror flips.
+func StandardAugment() AugmentConfig {
+	return AugmentConfig{UpsampleFactor: 4, Mirror: true}
+}
+
+// SurveyZoo returns the survey's detector line-up, shallow to deep.
+func SurveyZoo(seed int64) []DetectorSpec {
+	return []DetectorSpec{
+		{Name: "PM-exact", New: StandardPM},
+		{Name: "PM-fuzzy", New: StandardFuzzyPM},
+		{Name: "SVM", New: func() Detector { return StandardSVM(seed) }},
+		{Name: "AdaBoost", New: StandardAdaBoost},
+		{Name: "RForest", New: func() Detector { return StandardForest(seed) }},
+		{Name: "MLP", New: func() Detector { return StandardMLP(seed) },
+			Augment: AugmentConfig{UpsampleFactor: 4, Mirror: true}},
+		{Name: "CNN", Deep: true,
+			New:     func() Detector { return StandardCNN(seed, 0, "cnn") },
+			Augment: StandardAugment()},
+		{Name: "CNN-biased", Deep: true,
+			New:     func() Detector { return StandardCNN(seed, 0.25, "cnn-biased") },
+			Augment: StandardAugment()},
+		{Name: "CNN-plain", Deep: true,
+			New: func() Detector { return StandardCNN(seed, 0, "cnn-plain") }},
+	}
+}
