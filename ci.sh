@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# ci.sh — the repo's verification gate. Mirrors what a reviewer runs:
+#
+#   vet, build, unit + property tests under the race detector, and a
+#   smoke pass over the fuzz seed corpora (no fuzzing engine time).
+#
+# Usage: ./ci.sh [-short]
+#   -short  pass -short to go test (skips the slower property tests)
+
+set -eu
+
+short=""
+if [ "${1:-}" = "-short" ]; then
+	short="-short"
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race $short ./...
+
+echo "== fuzz seed smoke =="
+# -run=Fuzz executes every fuzz target once per seed corpus entry,
+# without the fuzzing engine; crashes here mean a regressed parser.
+go test -run=Fuzz ./internal/layout/ ./internal/gdsii/
+
+echo "ci: all checks passed"

@@ -35,6 +35,7 @@ func run() error {
 	seed := flag.Int64("seed", 1, "training seed")
 	verify := flag.Bool("verify", false, "verify findings with lithography simulation")
 	topN := flag.Int("top", 20, "print at most this many findings")
+	metrics := flag.Bool("metrics", false, "print scan telemetry snapshot after scanning")
 	flag.Parse()
 
 	f, err := os.Open(*suitePath)
@@ -101,8 +102,12 @@ func run() error {
 	}
 	fmt.Printf("trained %s on %s in %v\n", det.Name(), bench.Name, time.Since(t0).Round(time.Millisecond))
 
+	var reg *hsd.MetricsRegistry
+	if *metrics {
+		reg = hsd.NewMetricsRegistry()
+	}
 	t1 := time.Now()
-	findings, err := hsd.Scan(chip, det, hsd.ScanConfig{SkipEmpty: true})
+	findings, err := hsd.Scan(chip, det, hsd.ScanConfig{SkipEmpty: true, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -145,6 +150,14 @@ func run() error {
 		}
 		if n > 0 {
 			fmt.Printf("verified precision over printed findings: %d/%d\n", confirmed, n)
+		}
+		st := sim.Stats()
+		fmt.Printf("measured ODST: %d simulations in %v\n", st.Simulations, st.Elapsed.Round(time.Millisecond))
+	}
+	if reg != nil {
+		fmt.Println("--- scan telemetry ---")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
 		}
 	}
 	return nil

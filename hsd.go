@@ -39,6 +39,7 @@ import (
 	"github.com/golitho/hsd/internal/pm"
 	"github.com/golitho/hsd/internal/raster"
 	"github.com/golitho/hsd/internal/svm"
+	"github.com/golitho/hsd/internal/telemetry"
 )
 
 // Geometry and layout types.
@@ -293,6 +294,22 @@ func EvaluateSuite(factory func() Detector, suite *Suite, opt EvalOptions) ([]Ev
 func Scan(chip *Layout, det Detector, cfg ScanConfig) ([]Finding, error) {
 	return core.Scan(chip, det, cfg)
 }
+
+// Operational telemetry.
+type (
+	// MetricsRegistry collects operational counters, gauges, and latency
+	// histograms; pass one as ScanConfig.Metrics to observe a scan, and
+	// render it with WritePrometheus or Snapshot.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is one metric series of a registry snapshot.
+	MetricsSnapshot = telemetry.SeriesSnapshot
+	// SimStats is a Simulator's cumulative oracle usage: the measured
+	// ODST verification term.
+	SimStats = lithosim.SimStats
+)
+
+// NewMetricsRegistry constructs an empty telemetry registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // Metrics.
 type (

@@ -167,6 +167,9 @@ func TestSurveyShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains the full zoo; skipped in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("trains the full zoo; too slow under the race detector")
+	}
 	cfg := SmallSuiteConfig(77)
 	cfg.Specs = []BenchmarkSpec{{
 		Name: "M1", Style: DefaultPatternStyle(),

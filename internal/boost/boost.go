@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 )
 
 // Stump is a one-feature threshold classifier:
@@ -56,6 +57,11 @@ func (c *Config) normalize() {
 type Model struct {
 	Stumps []Stump
 	Alphas []float64
+	// RoundTimes[i] is the wall-clock time of boosting round i (the
+	// per-epoch cost of this learner); TrainTime is the whole fit
+	// including presorting.
+	RoundTimes []time.Duration
+	TrainTime  time.Duration
 }
 
 // Train fits AdaBoost on X with binary labels y (0 = negative, 1 = positive).
@@ -86,6 +92,7 @@ func Train(x [][]float64, y []int, cfg Config) (*Model, error) {
 		return nil, errors.New("boost: training set needs both classes")
 	}
 	cfg.normalize()
+	trainStart := time.Now()
 
 	// Presort sample indices by each feature.
 	order := make([][]int, dim)
@@ -122,6 +129,7 @@ func Train(x [][]float64, y []int, cfg Config) (*Model, error) {
 	}
 	m := &Model{}
 	for round := 0; round < cfg.Rounds; round++ {
+		roundStart := time.Now()
 		best, bestErr := bestStump(x, ys, w, order)
 		if bestErr >= 0.5-cfg.MinWeightedError {
 			break // weak learner no better than chance
@@ -142,6 +150,7 @@ func Train(x [][]float64, y []int, cfg Config) (*Model, error) {
 		for i := range w {
 			w[i] *= inv
 		}
+		m.RoundTimes = append(m.RoundTimes, time.Since(roundStart))
 		if bestErr < 1e-10 {
 			break // perfectly separated; further rounds add nothing
 		}
@@ -149,6 +158,7 @@ func Train(x [][]float64, y []int, cfg Config) (*Model, error) {
 	if len(m.Stumps) == 0 {
 		return nil, errors.New("boost: no useful weak learner found")
 	}
+	m.TrainTime = time.Since(trainStart)
 	return m, nil
 }
 

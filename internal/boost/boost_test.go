@@ -36,6 +36,12 @@ func TestTrainAxisAligned(t *testing.T) {
 	if m.Rounds() > 2 {
 		t.Fatalf("separable data used %d rounds", m.Rounds())
 	}
+	if len(m.RoundTimes) != m.Rounds() {
+		t.Fatalf("RoundTimes has %d entries for %d rounds", len(m.RoundTimes), m.Rounds())
+	}
+	if m.TrainTime <= 0 {
+		t.Fatalf("TrainTime not recorded: %v", m.TrainTime)
+	}
 }
 
 func TestTrainInvertedFeature(t *testing.T) {

@@ -5,9 +5,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/telemetry"
 )
 
 // ScanConfig controls full-chip scanning.
@@ -24,6 +27,15 @@ type ScanConfig struct {
 	// SkipEmpty skips windows with no geometry (always sound: empty
 	// windows cannot print defects).
 	SkipEmpty bool
+	// Progress, when non-nil, is called after each window completes with
+	// the number of windows done so far and the total enumerated.
+	// Invocations are serialized; the callback must not block for long or
+	// it stalls the worker pool.
+	Progress func(done, total int)
+	// Metrics, when non-nil, receives scan telemetry under the scan_*
+	// namespace (see scanMetrics for the series emitted). The same
+	// registry may be reused across scans; counters accumulate.
+	Metrics *telemetry.Registry
 }
 
 func (c *ScanConfig) normalize() {
@@ -34,11 +46,19 @@ func (c *ScanConfig) normalize() {
 		c.CoreFrac = 0.5
 	}
 	if c.StrideNM <= 0 {
-		c.StrideNM = int(float64(c.ClipNM) * c.CoreFrac)
+		// Exactly the core edge as ClipAt computes it (2 * coreHalf), so
+		// cores tile without hairline gaps when ClipNM*CoreFrac is odd.
+		c.StrideNM = 2 * c.coreHalf()
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+}
+
+// coreHalf is the half-edge of the scored core region, matching
+// layout.ClipAt's rounding.
+func (c *ScanConfig) coreHalf() int {
+	return int(float64(c.ClipNM) * c.CoreFrac / 2)
 }
 
 // Finding is one flagged window of a full-chip scan.
@@ -47,6 +67,81 @@ type Finding struct {
 	Center geom.Point
 	// Score is the detector output for the window.
 	Score float64
+}
+
+// scanMetrics bundles the telemetry series of one scan. A nil receiver
+// disables every method, so the hot path stays branch-light when no
+// registry is supplied.
+type scanMetrics struct {
+	enumerated *telemetry.Counter   // scan_windows_total
+	scanned    *telemetry.Counter   // scan_windows_scanned_total
+	skipped    *telemetry.Counter   // scan_windows_skipped_total
+	flagged    *telemetry.Counter   // scan_windows_flagged_total
+	errored    *telemetry.Counter   // scan_errors_total
+	latency    *telemetry.Histogram // scan_score_seconds
+	workers    *telemetry.Gauge     // scan_workers
+	busy       *telemetry.Counter   // scan_worker_busy_seconds_total
+	wall       *telemetry.Counter   // scan_wall_seconds_total
+}
+
+func newScanMetrics(reg *telemetry.Registry) *scanMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.SetHelp("scan_windows_total", "Windows enumerated by the sliding-window scan.")
+	reg.SetHelp("scan_windows_scanned_total", "Windows actually scored by the detector.")
+	reg.SetHelp("scan_windows_skipped_total", "Empty windows skipped under SkipEmpty.")
+	reg.SetHelp("scan_windows_flagged_total", "Windows whose score reached the threshold.")
+	reg.SetHelp("scan_errors_total", "Windows that failed to clip or score.")
+	reg.SetHelp("scan_score_seconds", "Per-window detector latency.")
+	reg.SetHelp("scan_workers", "Worker goroutines of the most recent scan.")
+	reg.SetHelp("scan_worker_busy_seconds_total", "Cumulative worker busy time; divide by scan_workers * scan_wall_seconds_total for utilization.")
+	reg.SetHelp("scan_wall_seconds_total", "Cumulative scan wall-clock time.")
+	return &scanMetrics{
+		enumerated: reg.Counter("scan_windows_total"),
+		scanned:    reg.Counter("scan_windows_scanned_total"),
+		skipped:    reg.Counter("scan_windows_skipped_total"),
+		flagged:    reg.Counter("scan_windows_flagged_total"),
+		errored:    reg.Counter("scan_errors_total"),
+		latency:    reg.Histogram("scan_score_seconds", nil),
+		workers:    reg.Gauge("scan_workers"),
+		busy:       reg.Counter("scan_worker_busy_seconds_total"),
+		wall:       reg.Counter("scan_wall_seconds_total"),
+	}
+}
+
+func (m *scanMetrics) start(windows, workers int) {
+	if m == nil {
+		return
+	}
+	m.enumerated.Add(float64(windows))
+	m.workers.Set(float64(workers))
+}
+
+func (m *scanMetrics) window(scoreTime time.Duration, scored, skipped, flagged, errored bool) {
+	if m == nil {
+		return
+	}
+	switch {
+	case errored:
+		m.errored.Inc()
+	case skipped:
+		m.skipped.Inc()
+	case scored:
+		m.scanned.Inc()
+		m.latency.ObserveDuration(scoreTime)
+		if flagged {
+			m.flagged.Inc()
+		}
+	}
+}
+
+func (m *scanMetrics) finish(busy, wall time.Duration) {
+	if m == nil {
+		return
+	}
+	m.busy.AddDuration(busy)
+	m.wall.AddDuration(wall)
 }
 
 // Scan slides a detection window across the chip and returns the flagged
@@ -63,14 +158,37 @@ func Scan(chip *layout.Layout, det Detector, cfg ScanConfig) ([]Finding, error) 
 	if bounds.Empty() {
 		return nil, nil
 	}
-	half := cfg.ClipNM / 2
+	// Anchor window centers so the first core starts at bounds.Min: the
+	// cores (not the windows) must tile the die, otherwise geometry in
+	// the border margin of width (ClipNM-core)/2 is never scored inside
+	// a core. Windows overhang the die edge instead, which is harmless.
+	coreHalf := cfg.coreHalf()
+	if coreHalf <= 0 {
+		coreHalf = cfg.ClipNM / 2
+	}
 	var centers []geom.Point
-	for cy := bounds.Min.Y + half; cy-half < bounds.Max.Y; cy += cfg.StrideNM {
-		for cx := bounds.Min.X + half; cx-half < bounds.Max.X; cx += cfg.StrideNM {
+	for cy := bounds.Min.Y + coreHalf; cy-coreHalf < bounds.Max.Y; cy += cfg.StrideNM {
+		for cx := bounds.Min.X + coreHalf; cx-coreHalf < bounds.Max.X; cx += cfg.StrideNM {
 			centers = append(centers, geom.Pt(cx, cy))
 		}
 	}
 
+	mets := newScanMetrics(cfg.Metrics)
+	mets.start(len(centers), cfg.Workers)
+	scanStart := time.Now()
+
+	var done atomic.Int64
+	var progressMu sync.Mutex
+	report := func() {
+		n := int(done.Add(1))
+		if cfg.Progress != nil {
+			progressMu.Lock()
+			cfg.Progress(n, len(centers))
+			progressMu.Unlock()
+		}
+	}
+
+	var busyNanos atomic.Int64
 	findings := make([]*Finding, len(centers))
 	errs := make([]error, len(centers))
 	var wg sync.WaitGroup
@@ -84,22 +202,38 @@ func Scan(chip *layout.Layout, det Detector, cfg ScanConfig) ([]Finding, error) 
 		go func(d Detector) {
 			defer wg.Done()
 			for i := range jobs {
+				jobStart := time.Now()
 				clip, err := chip.ClipAt(centers[i], cfg.ClipNM, cfg.CoreFrac)
 				if err != nil {
 					errs[i] = err
+					mets.window(0, false, false, false, true)
+					busyNanos.Add(int64(time.Since(jobStart)))
+					report()
 					continue
 				}
 				if cfg.SkipEmpty && len(clip.Shapes) == 0 {
+					mets.window(0, false, true, false, false)
+					busyNanos.Add(int64(time.Since(jobStart)))
+					report()
 					continue
 				}
+				scoreStart := time.Now()
 				score, err := d.Score(clip)
+				scoreTime := time.Since(scoreStart)
 				if err != nil {
 					errs[i] = err
+					mets.window(0, false, false, false, true)
+					busyNanos.Add(int64(time.Since(jobStart)))
+					report()
 					continue
 				}
-				if score >= d.Threshold() {
+				flagged := score >= d.Threshold()
+				if flagged {
 					findings[i] = &Finding{Center: centers[i], Score: score}
 				}
+				mets.window(scoreTime, true, false, flagged, false)
+				busyNanos.Add(int64(time.Since(jobStart)))
+				report()
 			}
 		}(d)
 	}
@@ -108,6 +242,7 @@ func Scan(chip *layout.Layout, det Detector, cfg ScanConfig) ([]Finding, error) 
 	}
 	close(jobs)
 	wg.Wait()
+	mets.finish(time.Duration(busyNanos.Load()), time.Since(scanStart))
 
 	for i, err := range errs {
 		if err != nil {

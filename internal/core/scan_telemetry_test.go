@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/telemetry"
+)
+
+// buildScanChip lays horizontal background lines plus one target block.
+func buildScanChip(t *testing.T, edge int) (*layout.Layout, geom.Rect) {
+	t.Helper()
+	chip := layout.New("chip")
+	for y := 0; y < edge; y += 512 {
+		if err := chip.AddRect(geom.R(0, y, edge, y+96)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := geom.R(edge/2, edge/2, edge/2+128, edge/2+128)
+	if err := chip.AddRect(target); err != nil {
+		t.Fatal(err)
+	}
+	return chip, target
+}
+
+// enumerateCenters mirrors Scan's core-anchored window enumeration for
+// assertions.
+func enumerateCenters(bounds geom.Rect, clipNM int, coreFrac float64, strideNM int) []geom.Point {
+	coreHalf := int(float64(clipNM) * coreFrac / 2)
+	if strideNM <= 0 {
+		strideNM = 2 * coreHalf
+	}
+	var centers []geom.Point
+	for cy := bounds.Min.Y + coreHalf; cy-coreHalf < bounds.Max.Y; cy += strideNM {
+		for cx := bounds.Min.X + coreHalf; cx-coreHalf < bounds.Max.X; cx += strideNM {
+			centers = append(centers, geom.Pt(cx, cy))
+		}
+	}
+	return centers
+}
+
+// TestScanTelemetryCountsWindows is the acceptance check: scan telemetry
+// reports exactly as many scanned windows as the scan enumerates, and
+// the flagged counter matches the findings (here every flagged window is
+// unique, so findings == flagged).
+func TestScanTelemetryCountsWindows(t *testing.T) {
+	chip, target := buildScanChip(t, 4096)
+	cfg := ScanConfig{ClipNM: 1024, CoreFrac: 0.5, Workers: 4, Metrics: telemetry.NewRegistry()}
+	det := &stubDetector{Target: target}
+	findings, err := Scan(chip, det, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(enumerateCenters(chip.Bounds(), 1024, 0.5, 0))
+	if total == 0 {
+		t.Fatal("no windows enumerated")
+	}
+
+	reg := cfg.Metrics
+	if got := reg.Counter("scan_windows_total").Value(); got != float64(total) {
+		t.Errorf("scan_windows_total = %v, want %d", got, total)
+	}
+	// Without SkipEmpty every enumerated window is scored.
+	if got := reg.Counter("scan_windows_scanned_total").Value(); got != float64(total) {
+		t.Errorf("scan_windows_scanned_total = %v, want %d", got, total)
+	}
+	if got := reg.Counter("scan_windows_skipped_total").Value(); got != 0 {
+		t.Errorf("scan_windows_skipped_total = %v, want 0", got)
+	}
+	if got := reg.Counter("scan_windows_flagged_total").Value(); got != float64(len(findings)) {
+		t.Errorf("scan_windows_flagged_total = %v, want %d findings", got, len(findings))
+	}
+	if got := reg.Histogram("scan_score_seconds", nil).Count(); got != int64(total) {
+		t.Errorf("scan_score_seconds count = %d, want %d", got, total)
+	}
+	if got := reg.Gauge("scan_workers").Value(); got != 4 {
+		t.Errorf("scan_workers = %v, want 4", got)
+	}
+	if reg.Counter("scan_wall_seconds_total").Value() <= 0 {
+		t.Error("scan_wall_seconds_total not recorded")
+	}
+}
+
+// TestScanTelemetrySkippedPlusScannedIsTotal checks the accounting
+// identity under SkipEmpty: every enumerated window is either scored or
+// skipped.
+func TestScanTelemetrySkippedPlusScannedIsTotal(t *testing.T) {
+	// Sparse chip: two far-apart shapes leave many empty windows.
+	chip := layout.New("sparse")
+	if err := chip.AddRect(geom.R(0, 0, 100, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.AddRect(geom.R(8000, 8000, 8100, 8100)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ScanConfig{ClipNM: 1024, CoreFrac: 0.5, Workers: 3, SkipEmpty: true,
+		Metrics: telemetry.NewRegistry()}
+	if _, err := Scan(chip, &stubDetector{}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	reg := cfg.Metrics
+	total := reg.Counter("scan_windows_total").Value()
+	scanned := reg.Counter("scan_windows_scanned_total").Value()
+	skipped := reg.Counter("scan_windows_skipped_total").Value()
+	if total == 0 || scanned == 0 || skipped == 0 {
+		t.Fatalf("expected all three counters nonzero: total=%v scanned=%v skipped=%v",
+			total, scanned, skipped)
+	}
+	if scanned+skipped != total {
+		t.Fatalf("scanned(%v) + skipped(%v) != total(%v)", scanned, skipped, total)
+	}
+}
+
+func TestScanProgressCallback(t *testing.T) {
+	chip, target := buildScanChip(t, 4096)
+	var calls atomic.Int64
+	var lastDone, sawTotal int
+	cfg := ScanConfig{
+		ClipNM: 1024, CoreFrac: 0.5, Workers: 4,
+		Progress: func(done, total int) {
+			calls.Add(1)
+			// Calls are serialized, so done must be strictly increasing.
+			if done <= lastDone {
+				t.Errorf("progress done went from %d to %d", lastDone, done)
+			}
+			lastDone = done
+			sawTotal = total
+		},
+	}
+	if _, err := Scan(chip, &stubDetector{Target: target}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	total := len(enumerateCenters(chip.Bounds(), 1024, 0.5, 0))
+	if got := calls.Load(); got != int64(total) {
+		t.Fatalf("progress called %d times, want %d", got, total)
+	}
+	if lastDone != total || sawTotal != total {
+		t.Fatalf("final progress = (%d, %d), want (%d, %d)", lastDone, sawTotal, total, total)
+	}
+}
+
+// TestScanDefaultStrideTilesExactlyOnce is the tiling property: with the
+// default stride (core size), the core regions of the enumerated windows
+// partition the chip bounds — every point of the die is covered by
+// exactly one core.
+func TestScanDefaultStrideTilesExactlyOnce(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		clipNM   int
+		coreFrac float64
+		edgeX    int
+		edgeY    int
+	}{
+		{"square-pow2", 1024, 0.5, 4096, 4096},
+		{"non-multiple", 1024, 0.5, 4000, 3000},
+		{"full-core", 512, 1.0, 2048, 1536},
+		{"rect-chip", 1024, 0.25, 2048, 1024},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bounds := geom.R(0, 0, tc.edgeX, tc.edgeY)
+			centers := enumerateCenters(bounds, tc.clipNM, tc.coreFrac, 0)
+			coreHalf := int(float64(tc.clipNM) * tc.coreFrac / 2)
+
+			// Sample the die on a fine grid and count covering cores.
+			const step = 64
+			for y := 0; y < tc.edgeY; y += step {
+				for x := 0; x < tc.edgeX; x += step {
+					covered := 0
+					for _, c := range centers {
+						core := geom.R(c.X-coreHalf, c.Y-coreHalf, c.X+coreHalf, c.Y+coreHalf)
+						if geom.Pt(x, y).In(core) {
+							covered++
+						}
+					}
+					if covered != 1 {
+						t.Fatalf("point (%d,%d) covered by %d cores, want exactly 1", x, y, covered)
+					}
+				}
+			}
+		})
+	}
+}

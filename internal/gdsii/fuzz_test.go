@@ -1,0 +1,75 @@
+package gdsii
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+)
+
+// FuzzGDSIIRead throws arbitrary bytes at the GDSII reader. The parser
+// must never panic; accepted inputs must survive a Write/Read round trip
+// with shape count and bounds intact.
+func FuzzGDSIIRead(f *testing.F) {
+	l := layout.New("seed")
+	for _, r := range []geom.Rect{
+		geom.R(0, 0, 64, 64),
+		geom.R(-128, 32, -16, 96),
+		geom.R(500, -500, 564, -380),
+	} {
+		if err := l.AddRect(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                       // truncated mid-stream
+	f.Add(valid[:5])                                  // truncated record header
+	f.Add([]byte{})                                   // empty
+	f.Add([]byte{0x00, 0x06, 0x00, 0x02, 0x02, 0x58}) // lone HEADER
+	f.Add([]byte{0x00, 0x02, 0x00, 0x00})             // invalid length 2
+	f.Add([]byte("not gdsii at all"))
+	// Valid envelope with a degenerate 4-point XY (zero-length edges).
+	env := append([]byte(nil), valid[:4+2]...)
+	env = append(env,
+		0x00, 0x04, recBOUNDARY, dtNone,
+		0x00, 0x2c, recXY, dtInt32,
+		0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0,
+		0x00, 0x04, recENDEL, dtNone,
+		0x00, 0x04, recENDLIB, dtNone,
+	)
+	f.Add(env)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		parsed, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, parsed); err != nil {
+			t.Fatalf("rewrite of accepted input failed: %v", err)
+		}
+		again, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("reread of own output failed: %v", err)
+		}
+		if again.NumShapes() != parsed.NumShapes() {
+			t.Fatalf("round trip changed shape count: %d -> %d", parsed.NumShapes(), again.NumShapes())
+		}
+		if again.Bounds() != parsed.Bounds() {
+			t.Fatalf("round trip changed bounds: %v -> %v", parsed.Bounds(), again.Bounds())
+		}
+	})
+}

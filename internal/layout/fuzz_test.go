@@ -1,0 +1,62 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/golitho/hsd/internal/geom"
+)
+
+// FuzzParseGLT throws arbitrary bytes at the GLT reader. The parser must
+// never panic; when it accepts an input, the layout must survive a
+// Write/Read round trip unchanged.
+func FuzzParseGLT(f *testing.F) {
+	l := New("seed")
+	for _, r := range []geom.Rect{
+		geom.R(0, 0, 100, 50),
+		geom.R(-30, -40, 10, 20),
+		geom.R(1000, 1000, 1064, 1512),
+	} {
+		if err := l.AddRect(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("GLT 1\nLAYOUT x\nEND\n"))
+	f.Add([]byte("GLT 1\nLAYOUT x\nRECT 0 0 1 1\n"))                 // truncated
+	f.Add([]byte("GLT 1\n# comment\nLAYOUT x\nRECT a b c d\nEND\n")) // bad coords
+	f.Add([]byte("GLT 1\nLAYOUT x\nRECT 5 5 5 9\nEND\n"))            // empty rect
+	f.Add([]byte("GLT 1\nLAYOUT x\nRECT -2000000000 -2000000000 2000000000 2000000000\nEND\n"))
+	f.Add([]byte("GLT 2\nLAYOUT x\nEND\n")) // wrong version
+	f.Add([]byte(""))
+	f.Add([]byte("\x00\xff\x00\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<18 {
+			t.Skip("oversized input")
+		}
+		parsed, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, parsed); err != nil {
+			t.Fatalf("rewrite of accepted input failed: %v", err)
+		}
+		again, err := Read(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("reread of own output failed: %v", err)
+		}
+		if again.NumShapes() != parsed.NumShapes() {
+			t.Fatalf("round trip changed shape count: %d -> %d", parsed.NumShapes(), again.NumShapes())
+		}
+		if again.Bounds() != parsed.Bounds() {
+			t.Fatalf("round trip changed bounds: %v -> %v", parsed.Bounds(), again.Bounds())
+		}
+	})
+}

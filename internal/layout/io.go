@@ -61,12 +61,27 @@ func Read(r io.Reader) (*Layout, error) {
 		return "", false
 	}
 
+	// scanErr surfaces the underlying reader error (e.g. a body-size
+	// limit) which would otherwise masquerade as a truncated file.
+	scanErr := func() error {
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("layout: scan: %w", err)
+		}
+		return nil
+	}
+
 	line, ok := next()
 	if !ok || line != formatHeader {
+		if err := scanErr(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("layout: line %d: missing %q header", lineNo, formatHeader)
 	}
 	line, ok = next()
 	if !ok || !strings.HasPrefix(line, "LAYOUT ") {
+		if err := scanErr(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("layout: line %d: missing LAYOUT record", lineNo)
 	}
 	l := New(strings.TrimSpace(strings.TrimPrefix(line, "LAYOUT ")))
@@ -74,6 +89,9 @@ func Read(r io.Reader) (*Layout, error) {
 	for {
 		line, ok = next()
 		if !ok {
+			if err := scanErr(); err != nil {
+				return nil, err
+			}
 			return nil, fmt.Errorf("layout: line %d: unexpected EOF before END", lineNo)
 		}
 		if line == "END" {

@@ -30,7 +30,17 @@ type Layout struct {
 	gridNM int
 	// cells maps grid cell -> indices into shapes overlapping that cell.
 	cells map[cellKey][]int32
+	// large holds indices of shapes spanning more than maxIndexCells grid
+	// cells; they are scanned linearly by every query instead of being
+	// fanned out into the cell map, which bounds index memory even for
+	// degenerate inputs (e.g. a parsed rectangle with near-int32 extents).
+	large []int32
 }
+
+// maxIndexCells bounds how many grid cells a single shape may fan out to
+// in the cell map, and how many cells a query enumerates before falling
+// back to a linear scan.
+const maxIndexCells = 1 << 12
 
 type cellKey struct{ cx, cy int }
 
@@ -72,6 +82,10 @@ func (l *Layout) AddRect(r geom.Rect) error {
 	idx := int32(len(l.shapes))
 	l.shapes = append(l.shapes, r)
 	l.bounds = l.bounds.Union(r)
+	if l.cellSpan(r) > maxIndexCells {
+		l.large = append(l.large, idx)
+		return nil
+	}
 	for _, k := range l.cellsOf(r) {
 		l.cells[k] = append(l.cells[k], idx)
 	}
@@ -117,12 +131,37 @@ func (l *Layout) Query(window geom.Rect) []geom.Rect {
 	}
 	seen := make(map[int32]bool)
 	var ids []int32
-	for _, k := range l.cellsOf(window) {
+	// Shapes only exist inside bounds, so probing the intersection keeps
+	// the cell walk proportional to the layout, not the window.
+	probe := window.Intersect(l.bounds)
+	if probe.Empty() {
+		return nil
+	}
+	if l.cellSpan(probe) > maxIndexCells {
+		// Degenerate extent: scan every shape instead of the cell map.
+		for id := range l.shapes {
+			if l.shapes[id].Overlaps(window) {
+				ids = append(ids, int32(id))
+			}
+		}
+		out := make([]geom.Rect, len(ids))
+		for i, id := range ids {
+			out[i] = l.shapes[id]
+		}
+		return out
+	}
+	for _, k := range l.cellsOf(probe) {
 		for _, id := range l.cells[k] {
 			if !seen[id] && l.shapes[id].Overlaps(window) {
 				seen[id] = true
 				ids = append(ids, id)
 			}
+		}
+	}
+	for _, id := range l.large {
+		if !seen[id] && l.shapes[id].Overlaps(window) {
+			seen[id] = true
+			ids = append(ids, id)
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -194,6 +233,20 @@ func (c Clip) Density() float64 {
 		covered += s.Intersect(c.Window).Area()
 	}
 	return float64(covered) / float64(c.Window.Area())
+}
+
+// cellSpan returns the number of index cells r covers, saturating at
+// maxIndexCells+1 so callers can compare without integer overflow.
+func (l *Layout) cellSpan(r geom.Rect) int {
+	w := int64(floorDiv(r.Max.X-1, l.gridNM)) - int64(floorDiv(r.Min.X, l.gridNM)) + 1
+	h := int64(floorDiv(r.Max.Y-1, l.gridNM)) - int64(floorDiv(r.Min.Y, l.gridNM)) + 1
+	if w > maxIndexCells || h > maxIndexCells {
+		return maxIndexCells + 1
+	}
+	if n := w * h; n <= maxIndexCells {
+		return int(n)
+	}
+	return maxIndexCells + 1
 }
 
 func floorDiv(a, b int) int {

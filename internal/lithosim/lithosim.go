@@ -31,6 +31,8 @@ package lithosim
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/raster"
@@ -175,6 +177,34 @@ type Simulator struct {
 	// kernels[i] is the 1-D separable blur kernel for cfg.Corners[i]
 	// (or the nominal kernel at index 0 when Corners is empty).
 	kernels [][]float64
+
+	// Cumulative oracle usage, updated atomically by Simulate: the
+	// measured ODST contribution of this simulator instance.
+	simCount atomic.Int64
+	simNanos atomic.Int64
+}
+
+// SimStats is the cumulative oracle usage of a Simulator: how many full
+// process-window simulations ran and how much wall-clock time they took.
+// Elapsed is the measured ODST verification term of the paper's metric.
+type SimStats struct {
+	Simulations int64
+	Elapsed     time.Duration
+}
+
+// Stats returns the cumulative usage since construction or the last
+// ResetStats. Safe for concurrent use with Simulate.
+func (s *Simulator) Stats() SimStats {
+	return SimStats{
+		Simulations: s.simCount.Load(),
+		Elapsed:     time.Duration(s.simNanos.Load()),
+	}
+}
+
+// ResetStats zeroes the usage counters, e.g. between benchmark runs.
+func (s *Simulator) ResetStats() {
+	s.simCount.Store(0)
+	s.simNanos.Store(0)
 }
 
 // New constructs a Simulator, validating the configuration.

@@ -2,6 +2,7 @@ package lithosim
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
@@ -18,6 +19,13 @@ func (s *Simulator) Simulate(clip layout.Clip) (Result, error) {
 	if len(clip.Shapes) == 0 {
 		return Result{}, nil
 	}
+	// Only clips that reach the optical model count toward measured ODST;
+	// validation failures and trivially empty clips cost nothing.
+	start := time.Now()
+	defer func() {
+		s.simCount.Add(1)
+		s.simNanos.Add(int64(time.Since(start)))
+	}()
 	mask, err := raster.Rasterize(raster.Config{Window: clip.Window, PixelNM: s.cfg.PixelNM}, clip.Shapes)
 	if err != nil {
 		return Result{}, fmt.Errorf("lithosim: rasterize clip: %w", err)

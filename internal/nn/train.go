@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"github.com/golitho/hsd/internal/tensor"
 )
@@ -48,6 +49,9 @@ type EpochStats struct {
 	Epoch int
 	Loss  float64
 	Acc   float64
+	// Elapsed is the wall-clock time of this epoch; summing it over the
+	// history gives the training-time term reported next to ODST.
+	Elapsed time.Duration
 }
 
 // Fit trains net in place on X (rows) with labels y, returning the
@@ -79,6 +83,7 @@ func Fit(net *Network, x [][]float64, y []int, cfg TrainConfig) ([]EpochStats, e
 	}
 	var history []EpochStats
 	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var lossSum float64
 		correct, batches := 0, 0
@@ -104,13 +109,15 @@ func Fit(net *Network, x [][]float64, y []int, cfg TrainConfig) ([]EpochStats, e
 			batches++
 		}
 		st := EpochStats{
-			Epoch: epoch,
-			Loss:  lossSum / float64(batches),
-			Acc:   float64(correct) / float64(n),
+			Epoch:   epoch,
+			Loss:    lossSum / float64(batches),
+			Acc:     float64(correct) / float64(n),
+			Elapsed: time.Since(epochStart),
 		}
 		history = append(history, st)
 		if cfg.Verbose != nil {
-			cfg.Verbose("epoch %d: loss=%.4f acc=%.4f", st.Epoch, st.Loss, st.Acc)
+			cfg.Verbose("epoch %d: loss=%.4f acc=%.4f time=%v",
+				st.Epoch, st.Loss, st.Acc, st.Elapsed.Round(time.Millisecond))
 		}
 		if cfg.LRStepEvery > 0 && cfg.LRStepFactor > 0 && epoch%cfg.LRStepEvery == 0 {
 			if s, ok := cfg.Optimizer.(lrScalable); ok {

@@ -1,0 +1,23 @@
+package nn
+
+import "testing"
+
+// TestFitRecordsEpochTiming checks every epoch of the history carries a
+// positive wall-clock duration.
+func TestFitRecordsEpochTiming(t *testing.T) {
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {0.2, 0.1}, {0.9, 0.8}}
+	y := []int{0, 1, 1, 0, 0, 1}
+	net := BuildMLP(2, 8)
+	hist, err := Fit(net, x, y, TrainConfig{Epochs: 3, BatchSize: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("history length = %d", len(hist))
+	}
+	for _, st := range hist {
+		if st.Elapsed <= 0 {
+			t.Fatalf("epoch %d has no Elapsed: %+v", st.Epoch, st)
+		}
+	}
+}

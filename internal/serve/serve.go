@@ -7,21 +7,30 @@
 //	POST /score   body: GLT layout of one clip window -> {"score":..,"hotspot":..}
 //	POST /verify  same body -> full oracle verdict with defects
 //	GET  /healthz -> {"status":"ok","detector":"..."}
+//	GET  /metrics -> Prometheus text exposition of serving telemetry
 //
 // The service is stateless per request and safe for concurrent use: the
-// detector is cloned per request when it is not concurrency-safe.
+// detector is cloned per request when it is not concurrency-safe. Every
+// endpoint is instrumented with request/error counters, a latency
+// histogram, and an in-flight gauge, and wrapped in panic recovery so a
+// scoring bug degrades to a 500 instead of killing the process.
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"github.com/golitho/hsd/internal/core"
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/lithosim"
+	"github.com/golitho/hsd/internal/telemetry"
 )
 
 // maxBodyBytes bounds accepted request bodies (a clip is a few KiB).
@@ -39,6 +48,9 @@ type Server struct {
 
 	mu    sync.Mutex
 	clone core.Detector // reused single clone for non-concurrent detectors
+
+	reg    *telemetry.Registry
+	panics *telemetry.Counter
 }
 
 // New constructs a Server. det must already be fitted; sim may be nil to
@@ -53,20 +65,90 @@ func New(det core.Detector, sim *lithosim.Simulator, clipNM int, coreFrac float6
 	if coreFrac <= 0 || coreFrac > 1 {
 		coreFrac = 0.5
 	}
-	s := &Server{det: det, sim: sim, clipNM: clipNM, coreFrac: coreFrac}
+	reg := telemetry.NewRegistry()
+	reg.SetHelp("http_requests_total", "Requests by endpoint and status code.")
+	reg.SetHelp("http_errors_total", "Responses with status >= 400 by endpoint.")
+	reg.SetHelp("http_request_seconds", "Request latency by endpoint.")
+	reg.SetHelp("http_inflight_requests", "Requests currently being served.")
+	reg.SetHelp("http_panics_total", "Handler panics recovered as 500s.")
+	s := &Server{
+		det: det, sim: sim, clipNM: clipNM, coreFrac: coreFrac,
+		reg:    reg,
+		panics: reg.Counter("http_panics_total"),
+	}
 	if c, ok := det.(core.Cloner); ok {
 		s.clone = c.CloneDetector()
 	}
 	return s, nil
 }
 
-// Handler returns the routed HTTP handler.
+// Metrics returns the server's telemetry registry, for embedding the
+// serving metrics into a wider exposition or reading them in tests.
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// Handler returns the routed HTTP handler with instrumentation and panic
+// recovery applied to every endpoint.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/score", s.handleScore)
-	mux.HandleFunc("/verify", s.handleVerify)
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
+	mux.HandleFunc("/score", s.instrument("/score", s.handleScore))
+	mux.HandleFunc("/verify", s.instrument("/verify", s.handleVerify))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux
+}
+
+// statusRecorder captures the response status for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the per-endpoint metrics and panic
+// recovery.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	requests := func(code int) *telemetry.Counter {
+		return s.reg.Counter("http_requests_total",
+			telemetry.L("endpoint", endpoint), telemetry.L("code", fmt.Sprint(code)))
+	}
+	errCount := s.reg.Counter("http_errors_total", telemetry.L("endpoint", endpoint))
+	latency := s.reg.Histogram("http_request_seconds", nil, telemetry.L("endpoint", endpoint))
+	inflight := s.reg.Gauge("http_inflight_requests")
+
+	return func(w http.ResponseWriter, r *http.Request) {
+		inflight.Inc()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Inc()
+				if rec.status == 0 {
+					http.Error(rec, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+				}
+			}
+			if rec.status == 0 {
+				rec.status = http.StatusOK
+			}
+			latency.ObserveDuration(time.Since(start))
+			requests(rec.status).Inc()
+			if rec.status >= 400 {
+				errCount.Inc()
+			}
+			inflight.Dec()
+		}()
+		h(rec, r)
+	}
 }
 
 // ScoreResponse is the /score reply.
@@ -103,9 +185,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
 // readClip parses the request body (GLT layout) into a centred clip.
-func (s *Server) readClip(r *http.Request) (layout.Clip, error) {
-	l, err := layout.Read(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+// The body is buffered first so an over-limit body surfaces as
+// *http.MaxBytesError (413) rather than as a parse error on the
+// truncated tail.
+func (s *Server) readClip(w http.ResponseWriter, r *http.Request) (layout.Clip, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return layout.Clip{}, fmt.Errorf("read body: %w", err)
+	}
+	l, err := layout.Read(bytes.NewReader(body))
 	if err != nil {
 		return layout.Clip{}, fmt.Errorf("parse layout: %w", err)
 	}
@@ -117,14 +215,25 @@ func (s *Server) readClip(r *http.Request) (layout.Clip, error) {
 	return l.ClipAt(geom.Pt(c.X, c.Y), s.clipNM, s.coreFrac)
 }
 
+// clipError maps a readClip failure to its HTTP status: oversized bodies
+// are 413, everything else is a client parse error.
+func clipError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	clip, err := s.readClip(r)
+	clip, err := s.readClip(w, r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		clipError(w, err)
 		return
 	}
 	score, err := s.score(clip)
@@ -160,9 +269,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "verification disabled", http.StatusNotImplemented)
 		return
 	}
-	clip, err := s.readClip(r)
+	clip, err := s.readClip(w, r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		clipError(w, err)
 		return
 	}
 	res, err := s.sim.Simulate(clip)

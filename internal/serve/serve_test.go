@@ -216,3 +216,189 @@ func TestNewValidation(t *testing.T) {
 		t.Fatal("nil detector accepted")
 	}
 }
+
+func TestOversizedBodyRejected(t *testing.T) {
+	ts := newTestServer(t, false)
+	// A syntactically endless GLT body beyond the 4 MiB cap: the server
+	// must cut it off with 413, not 400.
+	line := []byte("RECT 0 0 10 10\n")
+	var buf bytes.Buffer
+	buf.WriteString("GLT 1\nLAYOUT big\n")
+	for buf.Len() < maxBodyBytes+1<<20 {
+		buf.Write(line)
+	}
+	resp, err := http.Post(ts.URL+"/score", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// panicDetector blows up on Score to exercise panic recovery.
+type panicDetector struct{ thresholdDetector }
+
+func (panicDetector) Score(layout.Clip) (float64, error) { panic("scoring bug") }
+
+func TestPanicRecovery(t *testing.T) {
+	s, err := New(panicDetector{}, nil, 1024, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/score", "text/plain",
+		gltBody(t, geom.R(0, 0, 100, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if got := s.Metrics().Counter("http_panics_total").Value(); got != 1 {
+		t.Fatalf("http_panics_total = %v, want 1", got)
+	}
+	// The server must still answer after the panic.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic = %d", resp2.StatusCode)
+	}
+}
+
+// TestMetricsReflectTraffic drives /score traffic (including an error)
+// and asserts GET /metrics reports matching counters and latency
+// histogram counts.
+func TestMetricsReflectTraffic(t *testing.T) {
+	ts := newTestServer(t, false)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/score", "text/plain",
+			gltBody(t, geom.R(0, 0, 512, 512)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	respBad, err := http.Post(ts.URL+"/score", "text/plain", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respBad.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	for _, want := range []string{
+		`http_requests_total{code="200",endpoint="/score"} 3`,
+		`http_requests_total{code="400",endpoint="/score"} 1`,
+		`http_errors_total{endpoint="/score"} 1`,
+		`http_request_seconds_count{endpoint="/score"} 4`,
+		`# TYPE http_request_seconds histogram`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q\n---\n%s", want, text)
+		}
+	}
+
+	// Wrong method on /metrics.
+	respPost, err := http.Post(ts.URL+"/metrics", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respPost.Body.Close()
+	if respPost.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics status = %d, want 405", respPost.StatusCode)
+	}
+}
+
+func TestVerifyNilSimulatorOversizedAndMethods(t *testing.T) {
+	ts := newTestServer(t, false)
+	// /verify with nil simulator takes the 501 path before touching the
+	// body.
+	resp, err := http.Post(ts.URL+"/verify", "text/plain",
+		gltBody(t, geom.R(0, 0, 100, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("nil-sim verify status = %d, want 501", resp.StatusCode)
+	}
+	// Wrong method on every POST endpoint.
+	for _, path := range []string{"/score", "/verify"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s status = %d, want 405", path, r.StatusCode)
+		}
+	}
+	// Wrong method on /healthz.
+	r, err := http.Post(ts.URL+"/healthz", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz status = %d, want 405", r.StatusCode)
+	}
+}
+
+// cloningDetector is concurrency-unsafe and must be serialized through
+// the server's single clone.
+type cloningDetector struct {
+	thresholdDetector
+	calls int // mutated without synchronization: the race detector flags unserialized use
+}
+
+func (d *cloningDetector) Score(clip layout.Clip) (float64, error) {
+	d.calls++
+	return clip.Density(), nil
+}
+
+func (d *cloningDetector) CloneDetector() core.Detector { return &cloningDetector{} }
+
+// TestConcurrentScoreCloner exercises the clone-serialization path under
+// -race: the shared clone's unsynchronized counter must only ever be
+// touched under the server mutex.
+func TestConcurrentScoreCloner(t *testing.T) {
+	s, err := New(&cloningDetector{}, nil, 1024, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/score", "text/plain",
+				gltBody(t, geom.R(0, 0, 256, 1024)))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"github.com/golitho/hsd/internal/tensor"
 )
@@ -102,7 +103,18 @@ type Model struct {
 	bias    float64
 	support [][]float64 // support vectors
 	coef    []float64   // alpha_i * y_i for each support vector
+	stats   TrainStats
 }
+
+// TrainStats reports the cost of the SMO fit: full passes over the data
+// (the SVM's analogue of epochs) and total wall-clock time.
+type TrainStats struct {
+	Passes  int
+	Elapsed time.Duration
+}
+
+// TrainStats returns the fit-cost record of the training run.
+func (m *Model) TrainStats() TrainStats { return m.stats }
 
 // Train fits an SVM on X with binary labels y (0 = negative, 1 = positive).
 func Train(x [][]float64, y []int, cfg Config) (*Model, error) {
@@ -171,6 +183,7 @@ func Train(x [][]float64, y []int, cfg Config) (*Model, error) {
 		return s + b
 	}
 
+	trainStart := time.Now()
 	passes, iter := 0, 0
 	for passes < cfg.MaxPasses && iter < cfg.MaxIter {
 		changed := 0
@@ -235,7 +248,11 @@ func Train(x [][]float64, y []int, cfg Config) (*Model, error) {
 		}
 	}
 
-	m := &Model{kernel: cfg.Kernel, bias: b}
+	m := &Model{
+		kernel: cfg.Kernel,
+		bias:   b,
+		stats:  TrainStats{Passes: iter, Elapsed: time.Since(trainStart)},
+	}
 	for i := 0; i < n; i++ {
 		if alpha[i] > 1e-9 {
 			m.support = append(m.support, x[i])

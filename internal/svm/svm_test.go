@@ -31,6 +31,9 @@ func TestLinearSeparable(t *testing.T) {
 	if !m.Predict([]float64{5, 5}) || m.Predict([]float64{-5, -5}) {
 		t.Fatal("generalization failed on far points")
 	}
+	if st := m.TrainStats(); st.Passes <= 0 || st.Elapsed <= 0 {
+		t.Fatalf("train stats not recorded: %+v", st)
+	}
 }
 
 func TestRBFXor(t *testing.T) {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package hsd
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package hsd
+
+// raceEnabled reports whether the race detector instruments this build.
+// The end-to-end zoo test is wall-clock-bound (~10x slower under race)
+// and exceeds go test's default package timeout, so it skips itself;
+// concurrency coverage under -race lives in the focused package tests.
+const raceEnabled = true
