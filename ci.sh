@@ -23,6 +23,12 @@ go build ./...
 echo "== go test -race =="
 go test -race $short ./...
 
+echo "== chaos smoke =="
+# The chaos tests inject faults (latency, errors, panics) into the
+# primary detector and the scan loop, asserting the serving cascade
+# degrades instead of failing; -race because degradation is concurrent.
+go test -run Chaos -race ./internal/serve/ ./internal/core/
+
 echo "== fuzz seed smoke =="
 # -run=Fuzz executes every fuzz target once per seed corpus entry,
 # without the fuzzing engine; crashes here mean a regressed parser.

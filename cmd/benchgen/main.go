@@ -45,15 +45,7 @@ func run() error {
 	fmt.Printf("generated %d benchmarks in %v\n", len(suite.Benchmarks), time.Since(t0).Round(time.Millisecond))
 	fmt.Println(experiments.BenchStats(suite))
 
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := hsd.SaveSuite(f, suite); err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := hsd.SaveSuiteFile(*out, suite); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)

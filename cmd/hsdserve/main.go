@@ -5,10 +5,27 @@
 //
 // Usage:
 //
-//	hsdserve -suite suite.gob -bench B1 -detector AdaBoost -addr :8080
+//	hsdserve -suite suite.gob -bench B1 -detector CNN -fallback AdaBoost \
+//	         -deadline 500ms -shed-rate 200 -addr :8080
 //
 //	curl -s --data-binary @clip.glt localhost:8080/score
 //	curl -s --data-binary @clip.glt localhost:8080/verify
+//	curl -s localhost:8080/readyz
+//
+// Serving is a graceful-degradation cascade. The -detector (primary,
+// typically deep) model is guarded by a per-request -deadline budget and
+// a circuit breaker; when it overruns the deadline, errors, panics, or
+// the breaker is open, the -fallback (typically shallow) detector
+// answers instead and the JSON response carries "degraded": true plus a
+// "degradedReason" ("deadline", "error", "panic", "breaker-open").
+// Clients that care about verdict provenance must check that field; the
+// HTTP status stays 200. Without a fallback those failures surface as
+// 5xx. When -shed-rate is set, excess traffic is rejected up front with
+// 429 + Retry-After. GET /readyz reports readiness: "ready" (primary
+// healthy), "degraded" (breaker open, fallback answering, still 200), or
+// "unavailable" (breaker open, no fallback, 503). GET /metrics exposes
+// hotspot_fallbacks_total, requests_shed_total, and the breaker state
+// gauge (hotspot_breaker_state: 0 closed, 1 half-open, 2 open).
 package main
 
 import (
@@ -25,6 +42,7 @@ import (
 	"time"
 
 	hsd "github.com/golitho/hsd"
+	"github.com/golitho/hsd/internal/core"
 	"github.com/golitho/hsd/internal/lithosim"
 	"github.com/golitho/hsd/internal/serve"
 )
@@ -36,10 +54,36 @@ func main() {
 	}
 }
 
+// trainDetector trains one zoo detector by name on the benchmark.
+func trainDetector(name string, seed int64, bench *hsd.Benchmark) (core.Detector, error) {
+	var spec *hsd.DetectorSpec
+	for _, s := range hsd.SurveyZoo(seed) {
+		if strings.EqualFold(s.Name, name) {
+			sc := s
+			spec = &sc
+			break
+		}
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("detector %q not in zoo", name)
+	}
+	det := spec.New()
+	t0 := time.Now()
+	train := hsd.AugmentMinority(hsd.FromSamples(bench.Train.Samples), spec.Augment)
+	if err := det.Fit(train); err != nil {
+		return nil, err
+	}
+	log.Printf("trained %s on %s in %v", det.Name(), bench.Name, time.Since(t0).Round(time.Millisecond))
+	return det, nil
+}
+
 func run() error {
 	suitePath := flag.String("suite", "suite.gob", "suite gob file for training")
 	benchName := flag.String("bench", "", "training benchmark (default: first)")
-	detName := flag.String("detector", "AdaBoost", "zoo detector name")
+	detName := flag.String("detector", "AdaBoost", "zoo detector name (primary)")
+	fallbackName := flag.String("fallback", "", "zoo detector serving degraded verdicts when the primary fails (empty: no fallback)")
+	deadline := flag.Duration("deadline", 0, "per-request compute budget for /score and /verify (0: unlimited)")
+	shedRate := flag.Float64("shed-rate", 0, "admission-control rate in requests/sec; excess gets 429 (0: no shedding)")
 	seed := flag.Int64("seed", 1, "training seed")
 	addr := flag.String("addr", ":8080", "listen address")
 	readTimeout := flag.Duration("read-timeout", 15*time.Second, "max time to read a request")
@@ -67,31 +111,35 @@ func run() error {
 	if bench == nil {
 		return fmt.Errorf("benchmark %q not found", *benchName)
 	}
-	var spec *hsd.DetectorSpec
-	for _, s := range hsd.SurveyZoo(*seed) {
-		if strings.EqualFold(s.Name, *detName) {
-			sc := s
-			spec = &sc
-			break
-		}
-	}
-	if spec == nil {
-		return fmt.Errorf("detector %q not in zoo", *detName)
-	}
 
-	det := spec.New()
-	t0 := time.Now()
-	train := hsd.AugmentMinority(hsd.FromSamples(bench.Train.Samples), spec.Augment)
-	if err := det.Fit(train); err != nil {
+	det, err := trainDetector(*detName, *seed, bench)
+	if err != nil {
 		return err
 	}
-	log.Printf("trained %s on %s in %v", det.Name(), bench.Name, time.Since(t0).Round(time.Millisecond))
+	var fallback core.Detector
+	if *fallbackName != "" {
+		if strings.EqualFold(*fallbackName, *detName) {
+			return fmt.Errorf("fallback %q is the primary detector; pick a different (shallower) one", *fallbackName)
+		}
+		fallback, err = trainDetector(*fallbackName, *seed, bench)
+		if err != nil {
+			return fmt.Errorf("fallback: %w", err)
+		}
+	}
 
 	sim, err := lithosim.New(lithosim.DefaultConfig())
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(det, sim, suite.Config.ClipNM, suite.Config.CoreFrac)
+	srv, err := serve.NewServer(serve.Options{
+		Primary:        det,
+		Fallback:       fallback,
+		Sim:            sim,
+		ClipNM:         suite.Config.ClipNM,
+		CoreFrac:       suite.Config.CoreFrac,
+		DeadlineBudget: *deadline,
+		ShedRate:       *shedRate,
+	})
 	if err != nil {
 		return err
 	}
@@ -110,7 +158,7 @@ func run() error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving hotspot detection on %s (POST /score, POST /verify, GET /metrics)", *addr)
+		log.Printf("serving hotspot detection on %s (POST /score, POST /verify, GET /readyz, GET /metrics)", *addr)
 		errCh <- httpServer.ListenAndServe()
 	}()
 	select {

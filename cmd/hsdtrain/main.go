@@ -97,15 +97,7 @@ func run() error {
 		if !ok {
 			return fmt.Errorf("detector %s is not a neural detector; cannot save", spec.Name)
 		}
-		out, err := os.Create(*save)
-		if err != nil {
-			return err
-		}
-		defer out.Close()
-		if err := hsd.SaveNetwork(out, nd); err != nil {
-			return err
-		}
-		if err := out.Close(); err != nil {
+		if err := hsd.SaveNetworkFile(*save, nd); err != nil {
 			return err
 		}
 		fmt.Printf("saved network to %s\n", *save)

@@ -21,6 +21,7 @@
 package hsd
 
 import (
+	"context"
 	"io"
 
 	"github.com/golitho/hsd/internal/boost"
@@ -200,6 +201,8 @@ type (
 	ScanConfig = core.ScanConfig
 	// Finding is one flagged scan window.
 	Finding = core.Finding
+	// ScanResult is a ctx-aware scan outcome with partial-result markers.
+	ScanResult = core.ScanResult
 	// Ensemble combines detectors by voting.
 	Ensemble = core.Ensemble
 
@@ -295,6 +298,15 @@ func Scan(chip *Layout, det Detector, cfg ScanConfig) ([]Finding, error) {
 	return core.Scan(chip, det, cfg)
 }
 
+// ScanContext is the cancellable Scan: when ctx is cancelled or its
+// deadline expires mid-scan, the returned result carries the findings
+// completed so far (an exact prefix of the uncancelled deterministic
+// result, in window-enumeration order) with Interrupted set and Cause
+// recording why.
+func ScanContext(ctx context.Context, chip *Layout, det Detector, cfg ScanConfig) (ScanResult, error) {
+	return core.ScanCtx(ctx, chip, det, cfg)
+}
+
 // Operational telemetry.
 type (
 	// MetricsRegistry collects operational counters, gauges, and latency
@@ -330,6 +342,16 @@ func SaveNetwork(w io.Writer, d *NeuralDetector) error {
 		return errNotFitted
 	}
 	return nn.Save(w, d.Network())
+}
+
+// SaveNetworkFile writes a trained neural detector's network to path
+// crash-safely: temp file in the same directory, fsync, atomic rename.
+// A crash mid-save leaves the previous file (or nothing) intact.
+func SaveNetworkFile(path string, d *NeuralDetector) error {
+	if d.Network() == nil {
+		return errNotFitted
+	}
+	return nn.SaveFile(path, d.Network())
 }
 
 var errNotFitted = errNotFittedError{}

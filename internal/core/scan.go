@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -8,10 +9,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/golitho/hsd/internal/faultinject"
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/telemetry"
 )
+
+// ScanScoreSite is the faultinject hook name fired before each window
+// score, for chaos-testing scan error handling.
+const ScanScoreSite = "core.scan.score"
 
 // ScanConfig controls full-chip scanning.
 type ScanConfig struct {
@@ -144,6 +150,26 @@ func (m *scanMetrics) finish(busy, wall time.Duration) {
 	m.wall.AddDuration(wall)
 }
 
+// ScanResult is the outcome of a context-aware scan.
+type ScanResult struct {
+	// Findings are the flagged windows in deterministic enumeration
+	// order (row-major over window centers) — not score order. A
+	// cancelled scan's Findings are guaranteed to be a prefix of the
+	// Findings an uncancelled scan of the same inputs would return.
+	Findings []Finding
+	// Windows is the number of windows enumerated.
+	Windows int
+	// Completed is the length of the contiguous prefix of windows fully
+	// processed; equal to Windows when the scan ran to completion.
+	// Findings only reports flags from this prefix.
+	Completed int
+	// Interrupted is true when the context was cancelled or its
+	// deadline expired before every window was scored.
+	Interrupted bool
+	// Cause is the context error when Interrupted, nil otherwise.
+	Cause error
+}
+
 // Scan slides a detection window across the chip and returns the flagged
 // windows ordered by descending score. Cores tile the die (given the
 // default stride), so every location is scored exactly once.
@@ -153,10 +179,38 @@ func (m *scanMetrics) finish(busy, wall time.Duration) {
 // concurrent use (true for the fitted PM/SVM/AdaBoost detectors, whose
 // models are immutable after Fit).
 func Scan(chip *layout.Layout, det Detector, cfg ScanConfig) ([]Finding, error) {
+	res, err := ScanCtx(context.Background(), chip, det, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := res.Findings
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Center.Y != out[j].Center.Y {
+			return out[i].Center.Y < out[j].Center.Y
+		}
+		return out[i].Center.X < out[j].Center.X
+	})
+	return out, nil
+}
+
+// ScanCtx is the context-aware Scan: it honors cancellation and
+// deadlines, returning the partial findings gathered so far with an
+// explicit Interrupted marker instead of an error. Findings are in
+// window-enumeration order and cover exactly the contiguous prefix of
+// completed windows, so a cancelled scan's findings are a prefix of the
+// deterministic uncancelled result — resumable and comparable.
+//
+// Window errors inside the completed prefix still abort with an error
+// (matching Scan); errors beyond the prefix of an interrupted scan are
+// unreported, since their windows are not part of the result.
+func ScanCtx(ctx context.Context, chip *layout.Layout, det Detector, cfg ScanConfig) (ScanResult, error) {
 	cfg.normalize()
 	bounds := chip.Bounds()
 	if bounds.Empty() {
-		return nil, nil
+		return ScanResult{}, nil
 	}
 	// Anchor window centers so the first core starts at bounds.Min: the
 	// cores (not the windows) must tile the die, otherwise geometry in
@@ -191,6 +245,7 @@ func Scan(chip *layout.Layout, det Detector, cfg ScanConfig) ([]Finding, error) 
 	var busyNanos atomic.Int64
 	findings := make([]*Finding, len(centers))
 	errs := make([]error, len(centers))
+	processed := make([]atomic.Bool, len(centers))
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < cfg.Workers; w++ {
@@ -201,20 +256,39 @@ func Scan(chip *layout.Layout, det Detector, cfg ScanConfig) ([]Finding, error) 
 		wg.Add(1)
 		go func(d Detector) {
 			defer wg.Done()
-			for i := range jobs {
+			for {
+				var i int
+				select {
+				case <-ctx.Done():
+					return
+				case j, ok := <-jobs:
+					if !ok {
+						return
+					}
+					i = j
+				}
 				jobStart := time.Now()
+				done := func() {
+					processed[i].Store(true)
+					busyNanos.Add(int64(time.Since(jobStart)))
+					report()
+				}
 				clip, err := chip.ClipAt(centers[i], cfg.ClipNM, cfg.CoreFrac)
 				if err != nil {
 					errs[i] = err
 					mets.window(0, false, false, false, true)
-					busyNanos.Add(int64(time.Since(jobStart)))
-					report()
+					done()
 					continue
 				}
 				if cfg.SkipEmpty && len(clip.Shapes) == 0 {
 					mets.window(0, false, true, false, false)
-					busyNanos.Add(int64(time.Since(jobStart)))
-					report()
+					done()
+					continue
+				}
+				if err := faultinject.Hit(ScanScoreSite); err != nil {
+					errs[i] = err
+					mets.window(0, false, false, false, true)
+					done()
 					continue
 				}
 				scoreStart := time.Now()
@@ -223,8 +297,7 @@ func Scan(chip *layout.Layout, det Detector, cfg ScanConfig) ([]Finding, error) 
 				if err != nil {
 					errs[i] = err
 					mets.window(0, false, false, false, true)
-					busyNanos.Add(int64(time.Since(jobStart)))
-					report()
+					done()
 					continue
 				}
 				flagged := score >= d.Threshold()
@@ -232,37 +305,43 @@ func Scan(chip *layout.Layout, det Detector, cfg ScanConfig) ([]Finding, error) 
 					findings[i] = &Finding{Center: centers[i], Score: score}
 				}
 				mets.window(scoreTime, true, false, flagged, false)
-				busyNanos.Add(int64(time.Since(jobStart)))
-				report()
+				done()
 			}
 		}(d)
 	}
+dispatch:
 	for i := range centers {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
 	mets.finish(time.Duration(busyNanos.Load()), time.Since(scanStart))
 
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: scan window %d at %v: %w", i, centers[i], err)
+	res := ScanResult{Windows: len(centers)}
+	// Completed is the maximal contiguous prefix of processed windows:
+	// the portion of the deterministic enumeration the scan fully
+	// covered before cancellation (workers finish out of order, so
+	// isolated later windows may also be done; they are not reported).
+	for res.Completed < len(centers) && processed[res.Completed].Load() {
+		res.Completed++
+	}
+	if err := ctx.Err(); err != nil && res.Completed < len(centers) {
+		res.Interrupted = true
+		res.Cause = err
+	}
+	for i := 0; i < res.Completed; i++ {
+		if errs[i] != nil {
+			return ScanResult{}, fmt.Errorf("core: scan window %d at %v: %w", i, centers[i], errs[i])
 		}
 	}
-	out := make([]Finding, 0, 16)
-	for _, f := range findings {
+	for _, f := range findings[:res.Completed] {
 		if f != nil {
-			out = append(out, *f)
+			res.Findings = append(res.Findings, *f)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		if out[i].Center.Y != out[j].Center.Y {
-			return out[i].Center.Y < out[j].Center.Y
-		}
-		return out[i].Center.X < out[j].Center.X
-	})
-	return out, nil
+	return res, nil
 }

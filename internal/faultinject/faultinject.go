@@ -1,0 +1,121 @@
+// Package faultinject provides deterministic, test-controllable fault
+// hooks for chaos testing the serving stack. Production code places a
+// named site in its hot path:
+//
+//	if err := faultinject.Hit("serve.primary"); err != nil { ... }
+//
+// and tests arm the site with latency, an error, or a panic:
+//
+//	faultinject.Set("serve.primary", faultinject.Fault{Panic: "chaos"})
+//
+// When no site is armed, Hit is a single atomic load — safe to leave in
+// production binaries. Faults are keyed by site name and fire a
+// configurable number of times, so failure scripts are deterministic:
+// "the primary detector panics on the next 5 requests" is expressible
+// and repeatable.
+//
+// The package is process-global because injection sites live in code
+// that has no test-only configuration path; tests that arm faults must
+// not run in parallel with other fault-arming tests and should defer
+// Reset.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes what an armed site does when hit. Latency applies
+// first, then Panic (which wins over Err), then Err.
+type Fault struct {
+	// Latency is slept before the site acts.
+	Latency time.Duration
+	// Err is returned from Hit.
+	Err error
+	// Panic, when non-empty, panics with this message. Takes precedence
+	// over Err.
+	Panic string
+	// Count is how many hits fire before the site disarms itself;
+	// 0 means unlimited.
+	Count int
+}
+
+type site struct {
+	fault     Fault
+	remaining int // hits left when fault.Count > 0
+}
+
+var (
+	anyArmed atomic.Bool // fast-path check: false means no armed sites
+	mu       sync.Mutex
+	sites    = map[string]*site{}
+	fired    = map[string]int{}
+)
+
+// Set arms (or re-arms) a site.
+func Set(name string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[name] = &site{fault: f, remaining: f.Count}
+	anyArmed.Store(true)
+}
+
+// Clear disarms a site. Fired counts survive until Reset.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(sites, name)
+	anyArmed.Store(len(sites) > 0)
+}
+
+// Reset disarms every site and zeroes fired counts.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = map[string]*site{}
+	fired = map[string]int{}
+	anyArmed.Store(false)
+}
+
+// Fired returns how many times the named site has fired since the last
+// Reset (including hits on a since-disarmed site).
+func Fired(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return fired[name]
+}
+
+// Hit fires the named site if armed: it sleeps the configured latency,
+// then panics or returns the configured error. Unarmed sites return nil
+// at the cost of one atomic load.
+func Hit(name string) error {
+	if !anyArmed.Load() {
+		return nil
+	}
+	mu.Lock()
+	st, ok := sites[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	f := st.fault
+	fired[name]++
+	if f.Count > 0 {
+		st.remaining--
+		if st.remaining <= 0 {
+			delete(sites, name)
+			anyArmed.Store(len(sites) > 0)
+		}
+	}
+	mu.Unlock()
+
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	if f.Panic != "" {
+		panic(fmt.Sprintf("faultinject: %s: %s", name, f.Panic))
+	}
+	return f.Err
+}

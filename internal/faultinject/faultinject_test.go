@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnarmedSiteIsNil(t *testing.T) {
+	Reset()
+	if err := Hit("nowhere"); err != nil {
+		t.Fatalf("unarmed hit = %v", err)
+	}
+	if Fired("nowhere") != 0 {
+		t.Fatal("unarmed site recorded a firing")
+	}
+}
+
+func TestErrorInjectionAndCount(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("injected")
+	Set("x", Fault{Err: boom, Count: 2})
+	for i := 0; i < 2; i++ {
+		if err := Hit("x"); !errors.Is(err, boom) {
+			t.Fatalf("hit %d = %v, want injected error", i, err)
+		}
+	}
+	// Count exhausted: site auto-disarms.
+	if err := Hit("x"); err != nil {
+		t.Fatalf("post-count hit = %v, want nil", err)
+	}
+	if got := Fired("x"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestUnlimitedCountAndClear(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("injected")
+	Set("y", Fault{Err: boom}) // Count 0: unlimited
+	for i := 0; i < 5; i++ {
+		if err := Hit("y"); !errors.Is(err, boom) {
+			t.Fatalf("hit %d = %v", i, err)
+		}
+	}
+	Clear("y")
+	if err := Hit("y"); err != nil {
+		t.Fatalf("cleared hit = %v", err)
+	}
+	if got := Fired("y"); got != 5 { // fired counts survive Clear
+		t.Fatalf("Fired after Clear = %d, want 5", got)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set("p", Fault{Panic: "chaos", Count: 1})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("no panic injected")
+		}
+	}()
+	_ = Hit("p")
+}
+
+func TestLatencyInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set("slow", Fault{Latency: 20 * time.Millisecond, Count: 1})
+	start := time.Now()
+	if err := Hit("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("latency fault slept %v, want >= 20ms", elapsed)
+	}
+}
+
+// TestConcurrentHits exercises the counted-disarm path under the race
+// detector: exactly Count of the N concurrent hits observe the fault.
+func TestConcurrentHits(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("injected")
+	Set("c", Fault{Err: boom, Count: 50})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	injected := 0
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := Hit("c"); err != nil {
+					mu.Lock()
+					injected++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if injected != 50 {
+		t.Fatalf("injected %d of 200 hits, want exactly 50", injected)
+	}
+	if Fired("c") != 50 { // hits after auto-disarm don't fire
+		t.Fatalf("Fired = %d, want 50", Fired("c"))
+	}
+}

@@ -1,23 +1,41 @@
 package lithosim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"github.com/golitho/hsd/internal/faultinject"
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/raster"
 )
 
+// SimulateSite is the faultinject hook name fired at the start of each
+// oracle simulation, for chaos-testing verification paths.
+const SimulateSite = "lithosim.simulate"
+
 // Simulate runs the full process-window check on a clip and returns the
 // hotspot verdict with the defects found. The clip window must be
 // non-empty; clips with no drawn shapes are trivially non-hotspots.
 func (s *Simulator) Simulate(clip layout.Clip) (Result, error) {
+	return s.SimulateCtx(context.Background(), clip)
+}
+
+// SimulateCtx is the context-aware Simulate: cancellation and deadline
+// are checked between process corners (the unit of work — one blur +
+// three geometric checks — so a cancelled verification stops within one
+// corner's latency). An interrupted simulation returns the wrapped
+// context error; partial defect lists are never returned.
+func (s *Simulator) SimulateCtx(ctx context.Context, clip layout.Clip) (Result, error) {
 	if clip.Window.Empty() {
 		return Result{}, fmt.Errorf("lithosim: empty clip window")
 	}
 	if len(clip.Shapes) == 0 {
 		return Result{}, nil
+	}
+	if err := faultinject.Hit(SimulateSite); err != nil {
+		return Result{}, fmt.Errorf("lithosim: %w", err)
 	}
 	// Only clips that reach the optical model count toward measured ODST;
 	// validation failures and trivially empty clips cost nothing.
@@ -37,6 +55,9 @@ func (s *Simulator) Simulate(clip layout.Clip) (Result, error) {
 	var pvOr, pvAnd *raster.Mask
 
 	for i, corner := range s.cfg.Corners {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("lithosim: simulation interrupted at corner %q: %w", corner.Name, err)
+		}
 		aer := aerialBySigma[corner.SigmaScale]
 		if aer == nil {
 			aer = blurSeparable(mask, s.kernels[i])

@@ -1,9 +1,15 @@
 package nn
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // snapshot is the serialized form of one layer: a kind tag plus the
@@ -22,8 +28,44 @@ type netFile struct {
 	Layers  []snapshot
 }
 
-// Save serializes the network's architecture and weights.
+// fileMagic opens the framed network file format: a fixed tag, the
+// payload length, and a CRC32 of the payload, so Load can distinguish a
+// torn or corrupted file from a valid one before handing bytes to gob.
+// Files written before the frame existed are raw gob streams; Load
+// still accepts those.
+var fileMagic = []byte("HSDNNv2\n")
+
+// frameHeaderLen is the byte length of the frame after the magic:
+// uint64 payload length + uint32 CRC32 (IEEE) of the payload.
+const frameHeaderLen = 8 + 4
+
+// maxPayloadBytes bounds the declared payload so a corrupted length
+// field cannot drive a giant allocation.
+const maxPayloadBytes = 1 << 31
+
+// Save serializes the network's architecture and weights in the framed
+// format: magic, payload length, payload CRC32, gob payload. The frame
+// lets Load reject truncated or bit-flipped files with a clear error
+// instead of reconstructing garbage weights.
 func Save(w io.Writer, net *Network) error {
+	var payload bytes.Buffer
+	if err := encodeNet(&payload, net); err != nil {
+		return err
+	}
+	header := make([]byte, len(fileMagic)+frameHeaderLen)
+	copy(header, fileMagic)
+	binary.BigEndian.PutUint64(header[len(fileMagic):], uint64(payload.Len()))
+	binary.BigEndian.PutUint32(header[len(fileMagic)+8:], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("nn: write header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("nn: write payload: %w", err)
+	}
+	return nil
+}
+
+func encodeNet(w io.Writer, net *Network) error {
 	file := netFile{Version: formatVersion}
 	for _, l := range net.Layers {
 		var s snapshot
@@ -62,8 +104,97 @@ func Save(w io.Writer, net *Network) error {
 	return nil
 }
 
-// Load reconstructs a network saved with Save.
+// Load reconstructs a network saved with Save. Framed files are
+// integrity-checked first: a truncated or corrupted file fails with a
+// clear error instead of yielding garbage weights. Legacy raw-gob files
+// (written before the frame existed) are still accepted.
 func Load(r io.Reader) (*Network, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(fileMagic))
+	if err == nil && bytes.Equal(head, fileMagic) {
+		return loadFramed(br)
+	}
+	return decodeNet(br)
+}
+
+func loadFramed(br *bufio.Reader) (*Network, error) {
+	if _, err := br.Discard(len(fileMagic)); err != nil {
+		return nil, fmt.Errorf("nn: read magic: %w", err)
+	}
+	header := make([]byte, frameHeaderLen)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("nn: network file truncated in header (torn write?): %w", err)
+	}
+	size := binary.BigEndian.Uint64(header)
+	wantCRC := binary.BigEndian.Uint32(header[8:])
+	if size > maxPayloadBytes {
+		return nil, fmt.Errorf("nn: network file corrupt: implausible payload size %d", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("nn: network file truncated: want %d payload bytes (torn write?): %w", size, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("nn: network file corrupt: checksum %08x, want %08x", got, wantCRC)
+	}
+	return decodeNet(bytes.NewReader(payload))
+}
+
+// SaveFile writes the network to path crash-safely: the bytes go to a
+// temp file in the same directory, are fsynced, and atomically renamed
+// over path. A crash mid-save leaves the previous file (or nothing)
+// intact — never a torn file.
+func SaveFile(path string, net *Network) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("nn: create temp file: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := Save(tmp, net); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("nn: fsync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("nn: close %s: %w", tmp.Name(), err)
+	}
+	name := tmp.Name()
+	tmp = nil // committed past this point: disable the cleanup
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("nn: rename into place: %w", err)
+	}
+	// Make the rename itself durable. Directory fsync is best-effort:
+	// not all platforms/filesystems support it.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadFile reads a network from path with the integrity checks of Load.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: open network file: %w", err)
+	}
+	defer f.Close()
+	net, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("nn: load %s: %w", path, err)
+	}
+	return net, nil
+}
+
+func decodeNet(r io.Reader) (*Network, error) {
 	var file netFile
 	if err := gob.NewDecoder(r).Decode(&file); err != nil {
 		return nil, fmt.Errorf("nn: decode network: %w", err)

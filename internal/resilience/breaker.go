@@ -1,0 +1,195 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker state machine position. The
+// numeric values are stable and exported as a telemetry gauge:
+// 0 = closed, 1 = half-open, 2 = open.
+type BreakerState int32
+
+const (
+	// StateClosed admits every call; consecutive failures trip the
+	// breaker.
+	StateClosed BreakerState = iota
+	// StateHalfOpen admits a bounded number of probe calls after the
+	// cool-down; one failure re-opens, enough successes close.
+	StateHalfOpen
+	// StateOpen rejects every call until the cool-down elapses.
+	StateOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// ErrOpen is returned (or reported) when the breaker rejects a call.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerConfig tunes a Breaker. The zero value gets sensible defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures in the
+	// closed state that trips the breaker (default 5).
+	FailureThreshold int
+	// OpenTimeout is the cool-down after tripping before probe calls
+	// are admitted (default 5s).
+	OpenTimeout time.Duration
+	// HalfOpenProbes is the number of probe calls admitted — and the
+	// number of successes required — in the half-open state before the
+	// breaker closes (default 1).
+	HalfOpenProbes int
+	// Clock drives the cool-down timer (default the wall clock).
+	Clock Clock
+	// OnStateChange, when non-nil, is called synchronously on every
+	// transition (and once with the initial state at construction). It
+	// runs with the breaker lock held and must not call back into the
+	// breaker; setting a telemetry gauge is the intended use.
+	OnStateChange func(BreakerState)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Clock == nil {
+		c.Clock = Real
+	}
+	return c
+}
+
+// Breaker is a closed/open/half-open circuit breaker. Allow admits or
+// rejects a call; Record reports the outcome of an admitted call. Safe
+// for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	probes   int // probes admitted while half-open
+	probeOK  int // probe successes while half-open
+	openedAt time.Time
+}
+
+// NewBreaker constructs a Breaker in the closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	b := &Breaker{cfg: cfg.withDefaults()}
+	if b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(StateClosed)
+	}
+	return b
+}
+
+// setState transitions and notifies. Callers hold b.mu.
+func (b *Breaker) setState(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	if b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(s)
+	}
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.setState(StateOpen)
+	b.openedAt = b.cfg.Clock.Now()
+	b.fails = 0
+}
+
+// Allow reports whether a call may proceed. In the open state it
+// returns false until OpenTimeout has elapsed, then moves to half-open
+// and admits up to HalfOpenProbes probes. Every admitted call must be
+// followed by exactly one Record.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.cfg.Clock.Now().Sub(b.openedAt) < b.cfg.OpenTimeout {
+			return false
+		}
+		b.setState(StateHalfOpen)
+		b.probes, b.probeOK = 0, 0
+		fallthrough
+	default: // StateHalfOpen
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return false
+		}
+		b.probes++
+		return true
+	}
+}
+
+// Record reports the outcome of an admitted call; a nil error is a
+// success.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		switch b.state {
+		case StateClosed:
+			b.fails = 0
+		case StateHalfOpen:
+			b.probeOK++
+			if b.probeOK >= b.cfg.HalfOpenProbes {
+				b.setState(StateClosed)
+				b.fails = 0
+			}
+		}
+		return
+	}
+	switch b.state {
+	case StateClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case StateHalfOpen:
+		b.trip()
+	}
+	// StateOpen: a straggler outcome from before the trip; ignore.
+}
+
+// State returns the current state without side effects: an elapsed
+// cool-down is reported as open until an Allow performs the transition.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// RetryAfter returns the remaining cool-down when the breaker is open,
+// and zero otherwise.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != StateOpen {
+		return 0
+	}
+	rem := b.cfg.OpenTimeout - b.cfg.Clock.Now().Sub(b.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}

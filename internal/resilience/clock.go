@@ -1,0 +1,98 @@
+// Package resilience provides the dependency-free availability
+// primitives of the serving stack: a circuit breaker, a token-bucket
+// load shedder, jittered-backoff retry, and deadline-budget helpers.
+//
+// The paper's shallow-to-deep detector spectrum trades accuracy for
+// cost; this package turns that spectrum into an availability ladder.
+// When the deep (expensive) path saturates or fails, these primitives
+// decide — deterministically and observably — when to stop sending it
+// traffic, when to probe it again, and how much of a request's deadline
+// each stage may spend.
+//
+// All types take an injectable Clock so state transitions are testable
+// without wall-clock sleeps.
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so breaker cool-downs, bucket refills, and retry
+// backoffs can be driven deterministically in tests.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers one value once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Real is the wall clock.
+var Real Clock = realClock{}
+
+// FakeClock is a manually advanced Clock for tests. The zero value is
+// not usable; use NewFakeClock.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock returns a FakeClock frozen at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After implements Clock: the returned channel fires when Advance moves
+// the clock past the requested duration. Non-positive durations fire
+// immediately.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward and fires every waiter whose deadline
+// has been reached.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	sort.SliceStable(c.waiters, func(i, j int) bool {
+		return c.waiters[i].at.Before(c.waiters[j].at)
+	})
+	rest := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			w.ch <- c.now
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
+}

@@ -1,0 +1,69 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// ShedderConfig tunes a Shedder.
+type ShedderConfig struct {
+	// Rate is the sustained admission rate in requests per second.
+	// Must be positive.
+	Rate float64
+	// Burst is the bucket capacity: how many requests may be admitted
+	// back-to-back after an idle period (default max(Rate, 1)).
+	Burst float64
+	// Clock drives refill accounting (default the wall clock).
+	Clock Clock
+}
+
+// Shedder is a token-bucket admission controller: each admitted request
+// spends one token, tokens refill at Rate per second up to Burst.
+// Rejections happen before any work is queued, so an overloaded server
+// spends no compute on traffic it cannot serve. Safe for concurrent
+// use.
+type Shedder struct {
+	cfg ShedderConfig
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewShedder constructs a full bucket. Rate must be positive.
+func NewShedder(cfg ShedderConfig) *Shedder {
+	if cfg.Rate <= 0 {
+		cfg.Rate = 1
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.Rate
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = Real
+	}
+	return &Shedder{cfg: cfg, tokens: cfg.Burst, last: cfg.Clock.Now()}
+}
+
+// Allow spends one token if available. When the bucket is empty it
+// returns false and the duration until the next token accrues — the
+// Retry-After hint for a 429 response.
+func (s *Shedder) Allow() (ok bool, retryAfter time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Clock.Now()
+	if dt := now.Sub(s.last).Seconds(); dt > 0 {
+		s.tokens += dt * s.cfg.Rate
+		if s.tokens > s.cfg.Burst {
+			s.tokens = s.cfg.Burst
+		}
+	}
+	s.last = now
+	if s.tokens >= 1 {
+		s.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - s.tokens) / s.cfg.Rate * float64(time.Second))
+}

@@ -6,78 +6,198 @@
 //
 //	POST /score   body: GLT layout of one clip window -> {"score":..,"hotspot":..}
 //	POST /verify  same body -> full oracle verdict with defects
-//	GET  /healthz -> {"status":"ok","detector":"..."}
+//	GET  /healthz -> {"status":"ok","detector":"..."}  (liveness)
+//	GET  /readyz  -> breaker state + fallback availability (readiness)
 //	GET  /metrics -> Prometheus text exposition of serving telemetry
 //
-// The service is stateless per request and safe for concurrent use: the
-// detector is cloned per request when it is not concurrency-safe. Every
-// endpoint is instrumented with request/error counters, a latency
-// histogram, and an in-flight gauge, and wrapped in panic recovery so a
-// scoring bug degrades to a 500 instead of killing the process.
+// Serving is a graceful-degradation cascade over the paper's
+// shallow-to-deep detector spectrum: the primary (deep, accurate,
+// expensive) detector is guarded by a per-request deadline budget and a
+// circuit breaker; when it times out, errors, panics, or the breaker is
+// open, the request is re-scored by the shallow fallback detector and
+// answered with "degraded": true instead of an error. A token-bucket
+// load shedder rejects excess traffic with 429 + Retry-After before any
+// work is queued. Every stage is observable: hotspot_fallbacks_total,
+// requests_shed_total, hotspot_breaker_state, and the per-endpoint
+// request metrics.
+//
+// The service is stateless per request and safe for concurrent use: each
+// detector is cloned once when it is not concurrency-safe, and access to
+// the clone is serialized.
 package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/golitho/hsd/internal/core"
+	"github.com/golitho/hsd/internal/faultinject"
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/lithosim"
+	"github.com/golitho/hsd/internal/resilience"
 	"github.com/golitho/hsd/internal/telemetry"
 )
 
 // maxBodyBytes bounds accepted request bodies (a clip is a few KiB).
 const maxBodyBytes = 4 << 20
 
-// Server wires a fitted detector (and optionally the oracle) into an
+// PrimarySite is the faultinject hook name fired inside primary-detector
+// scoring, for chaos-testing the degradation cascade.
+const PrimarySite = "serve.primary"
+
+// Options configures a Server. Primary is required; everything else has
+// a working zero value.
+type Options struct {
+	// Primary is the detector of record (typically the deep CNN).
+	Primary core.Detector
+	// Fallback, when non-nil, answers requests the primary cannot:
+	// deadline overruns, panics, errors, and breaker-open rejections
+	// produce a degraded verdict from this (typically shallow) detector
+	// instead of a 5xx.
+	Fallback core.Detector
+	// Sim enables POST /verify when non-nil.
+	Sim *lithosim.Simulator
+	// ClipNM/CoreFrac describe the windows the detectors were trained
+	// on (defaults 1024 and 0.5).
+	ClipNM   int
+	CoreFrac float64
+	// DeadlineBudget is the per-request compute budget: each scoring or
+	// verification request gets a context deadline this far out (capped
+	// by any tighter client deadline). Zero disables the budget.
+	DeadlineBudget time.Duration
+	// Breaker tunes the primary-detector circuit breaker; the zero
+	// value gets the resilience defaults (5 consecutive failures trip,
+	// 5s cool-down, 1 probe).
+	Breaker resilience.BreakerConfig
+	// ShedRate, when positive, enables token-bucket admission control
+	// at this many requests per second (ShedBurst capacity, default
+	// max(ShedRate, 1)). Shed requests get 429 with Retry-After before
+	// any parsing or scoring work happens.
+	ShedRate  float64
+	ShedBurst float64
+	// Clock drives breaker and shedder timing (default the wall clock).
+	Clock resilience.Clock
+}
+
+// scorer wraps one detector, serializing access through a single clone
+// when the detector is not concurrency-safe.
+type scorer struct {
+	det   core.Detector
+	mu    sync.Mutex
+	clone core.Detector
+}
+
+func newScorer(det core.Detector) *scorer {
+	s := &scorer{det: det}
+	if c, ok := det.(core.Cloner); ok {
+		s.clone = c.CloneDetector()
+	}
+	return s
+}
+
+func (s *scorer) score(clip layout.Clip) (float64, error) {
+	if s.clone != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.clone.Score(clip)
+	}
+	return s.det.Score(clip)
+}
+
+// Server wires the detector cascade (and optionally the oracle) into an
 // http.Handler.
 type Server struct {
-	det core.Detector
-	sim *lithosim.Simulator
-
-	// clipNM/coreFrac describe the windows the detector was trained on.
+	opts     Options
+	primary  *scorer
+	fallback *scorer // nil when no fallback is configured
+	sim      *lithosim.Simulator
 	clipNM   int
 	coreFrac float64
 
-	mu    sync.Mutex
-	clone core.Detector // reused single clone for non-concurrent detectors
+	breaker *resilience.Breaker
+	shed    *resilience.Shedder // nil when shedding is disabled
 
-	reg    *telemetry.Registry
-	panics *telemetry.Counter
+	reg         *telemetry.Registry
+	panics      *telemetry.Counter
+	fallbacks   *telemetry.Counter
+	shedTotal   *telemetry.Counter
+	primaryErrs *telemetry.Counter
 }
 
-// New constructs a Server. det must already be fitted; sim may be nil to
-// disable /verify.
+// New constructs a Server with no fallback, deadline, or shedding —
+// the pre-cascade behaviour. det must already be fitted; sim may be nil
+// to disable /verify.
 func New(det core.Detector, sim *lithosim.Simulator, clipNM int, coreFrac float64) (*Server, error) {
-	if det == nil {
-		return nil, fmt.Errorf("serve: nil detector")
+	return NewServer(Options{Primary: det, Sim: sim, ClipNM: clipNM, CoreFrac: coreFrac})
+}
+
+// NewServer constructs a Server from Options. Options.Primary must be a
+// fitted detector.
+func NewServer(opts Options) (*Server, error) {
+	if opts.Primary == nil {
+		return nil, fmt.Errorf("serve: nil primary detector")
 	}
-	if clipNM <= 0 {
-		clipNM = 1024
+	if opts.ClipNM <= 0 {
+		opts.ClipNM = 1024
 	}
-	if coreFrac <= 0 || coreFrac > 1 {
-		coreFrac = 0.5
+	if opts.CoreFrac <= 0 || opts.CoreFrac > 1 {
+		opts.CoreFrac = 0.5
+	}
+	if opts.Clock == nil {
+		opts.Clock = resilience.Real
 	}
 	reg := telemetry.NewRegistry()
 	reg.SetHelp("http_requests_total", "Requests by endpoint and status code.")
 	reg.SetHelp("http_errors_total", "Responses with status >= 400 by endpoint.")
 	reg.SetHelp("http_request_seconds", "Request latency by endpoint.")
 	reg.SetHelp("http_inflight_requests", "Requests currently being served.")
-	reg.SetHelp("http_panics_total", "Handler panics recovered as 500s.")
+	reg.SetHelp("http_panics_total", "Panics recovered during request handling.")
+	reg.SetHelp("hotspot_fallbacks_total", "Requests answered by the fallback detector (degraded verdicts).")
+	reg.SetHelp("requests_shed_total", "Requests rejected 429 by the admission token bucket.")
+	reg.SetHelp("hotspot_breaker_state", "Primary-detector circuit breaker state: 0=closed, 1=half-open, 2=open.")
+	reg.SetHelp("hotspot_primary_failures_total", "Primary detector failures (errors, panics, deadline overruns).")
+
 	s := &Server{
-		det: det, sim: sim, clipNM: clipNM, coreFrac: coreFrac,
-		reg:    reg,
-		panics: reg.Counter("http_panics_total"),
+		opts:        opts,
+		primary:     newScorer(opts.Primary),
+		sim:         opts.Sim,
+		clipNM:      opts.ClipNM,
+		coreFrac:    opts.CoreFrac,
+		reg:         reg,
+		panics:      reg.Counter("http_panics_total"),
+		fallbacks:   reg.Counter("hotspot_fallbacks_total"),
+		shedTotal:   reg.Counter("requests_shed_total"),
+		primaryErrs: reg.Counter("hotspot_primary_failures_total"),
 	}
-	if c, ok := det.(core.Cloner); ok {
-		s.clone = c.CloneDetector()
+	if opts.Fallback != nil {
+		s.fallback = newScorer(opts.Fallback)
+	}
+	bcfg := opts.Breaker
+	if bcfg.Clock == nil {
+		bcfg.Clock = opts.Clock
+	}
+	stateGauge := reg.Gauge("hotspot_breaker_state")
+	userOnState := bcfg.OnStateChange
+	bcfg.OnStateChange = func(st resilience.BreakerState) {
+		stateGauge.Set(float64(st))
+		if userOnState != nil {
+			userOnState(st)
+		}
+	}
+	s.breaker = resilience.NewBreaker(bcfg)
+	if opts.ShedRate > 0 {
+		s.shed = resilience.NewShedder(resilience.ShedderConfig{
+			Rate: opts.ShedRate, Burst: opts.ShedBurst, Clock: opts.Clock,
+		})
 	}
 	return s, nil
 }
@@ -91,6 +211,7 @@ func (s *Server) Metrics() *telemetry.Registry { return s.reg }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
+	mux.HandleFunc("/readyz", s.instrument("/readyz", s.handleReady))
 	mux.HandleFunc("/score", s.instrument("/score", s.handleScore))
 	mux.HandleFunc("/verify", s.instrument("/verify", s.handleVerify))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
@@ -151,12 +272,20 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
-// ScoreResponse is the /score reply.
+// ScoreResponse is the /score reply. Degraded responses carry the
+// fallback detector's verdict: Detector/Score/Threshold describe the
+// detector that actually answered.
 type ScoreResponse struct {
 	Detector  string  `json:"detector"`
 	Score     float64 `json:"score"`
 	Threshold float64 `json:"threshold"`
 	Hotspot   bool    `json:"hotspot"`
+	// Degraded is true when the fallback detector answered because the
+	// primary was unavailable (deadline, panic, error, or open breaker).
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedReason says why the primary was bypassed: "deadline",
+	// "panic", "error", or "breaker-open".
+	DegradedReason string `json:"degradedReason,omitempty"`
 }
 
 // VerifyResponse is the /verify reply.
@@ -181,8 +310,54 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]string{
 		"status":   "ok",
-		"detector": s.det.Name(),
+		"detector": s.primary.det.Name(),
 	})
+}
+
+// ReadyResponse is the /readyz reply: the degradation posture of the
+// cascade, for load balancers and operators.
+type ReadyResponse struct {
+	// Status is "ready" (primary serving), "degraded" (primary breaker
+	// open but the fallback is answering), or "unavailable" (breaker
+	// open, no fallback: requests will 5xx).
+	Status   string `json:"status"`
+	Breaker  string `json:"breaker"`
+	Primary  string `json:"primary"`
+	Fallback string `json:"fallback,omitempty"`
+	// DeadlineBudget is the per-request budget, e.g. "500ms"; empty
+	// when disabled.
+	DeadlineBudget string `json:"deadlineBudget,omitempty"`
+	// Shedding is true when admission control is enabled.
+	Shedding bool `json:"shedding"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	out := ReadyResponse{
+		Breaker:  s.breaker.State().String(),
+		Primary:  s.primary.det.Name(),
+		Shedding: s.shed != nil,
+	}
+	if s.fallback != nil {
+		out.Fallback = s.fallback.det.Name()
+	}
+	if s.opts.DeadlineBudget > 0 {
+		out.DeadlineBudget = s.opts.DeadlineBudget.String()
+	}
+	status := http.StatusOK
+	switch {
+	case s.breaker.State() != resilience.StateOpen:
+		out.Status = "ready"
+	case s.fallback != nil:
+		out.Status = "degraded"
+	default:
+		out.Status = "unavailable"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -192,6 +367,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
+}
+
+// admit applies load shedding before any request work is done. It
+// writes the 429 itself and returns false when the request is shed.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	if s.shed == nil {
+		return true
+	}
+	ok, retryAfter := s.shed.Allow()
+	if ok {
+		return true
+	}
+	s.shedTotal.Inc()
+	secs := int(retryAfter/time.Second) + 1
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "overloaded: request shed, see Retry-After", http.StatusTooManyRequests)
+	return false
 }
 
 // readClip parses the request body (GLT layout) into a centred clip.
@@ -231,33 +423,132 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	if !s.admit(w) {
+		return
+	}
 	clip, err := s.readClip(w, r)
 	if err != nil {
 		clipError(w, err)
 		return
 	}
-	score, err := s.score(clip)
+	ctx, cancel := resilience.WithBudget(r.Context(), s.opts.DeadlineBudget)
+	defer cancel()
+	resp, err := s.cascade(ctx, clip)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.cascadeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ScoreResponse{
-		Detector:  s.det.Name(),
-		Score:     score,
-		Threshold: s.det.Threshold(),
-		Hotspot:   score >= s.det.Threshold(),
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// score runs the detector, serializing access when it is not
-// concurrency-safe.
-func (s *Server) score(clip layout.Clip) (float64, error) {
-	if s.clone != nil {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.clone.Score(clip)
+// cascadeError maps a cascade failure (no fallback available, or the
+// fallback itself failed) to its HTTP status.
+func (s *Server) cascadeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, resilience.ErrOpen):
+		if ra := s.breaker.RetryAfter(); ra > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(ra/time.Second)+1))
+		}
+		http.Error(w, "primary detector unavailable (circuit open), no fallback", http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		http.Error(w, fmt.Sprintf("scoring exceeded request deadline: %v", err), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
-	return s.det.Score(clip)
+}
+
+// cascade scores the clip through the degradation ladder: primary
+// behind the breaker and deadline, then fallback. A degraded response
+// is a success; the returned error means nothing could answer.
+func (s *Server) cascade(ctx context.Context, clip layout.Clip) (ScoreResponse, error) {
+	var primaryErr error
+	reason := ""
+	if s.breaker.Allow() {
+		var score float64
+		score, primaryErr = s.scorePrimary(ctx, clip)
+		s.breaker.Record(primaryErr)
+		if primaryErr == nil {
+			thr := s.primary.det.Threshold()
+			return ScoreResponse{
+				Detector: s.primary.det.Name(), Score: score,
+				Threshold: thr, Hotspot: score >= thr,
+			}, nil
+		}
+		s.primaryErrs.Inc()
+		reason = degradedReason(primaryErr)
+	} else {
+		primaryErr = resilience.ErrOpen
+		reason = "breaker-open"
+	}
+	if s.fallback == nil {
+		return ScoreResponse{}, primaryErr
+	}
+	score, err := s.fallback.score(clip)
+	if err != nil {
+		return ScoreResponse{}, fmt.Errorf("fallback (after primary %s): %w", reason, err)
+	}
+	s.fallbacks.Inc()
+	thr := s.fallback.det.Threshold()
+	return ScoreResponse{
+		Detector: s.fallback.det.Name(), Score: score,
+		Threshold: thr, Hotspot: score >= thr,
+		Degraded: true, DegradedReason: reason,
+	}, nil
+}
+
+func degradedReason(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.As(err, new(*panicError)):
+		return "panic"
+	default:
+		return "error"
+	}
+}
+
+// panicError wraps a recovered primary-scoring panic so the cascade can
+// treat it as a failure instead of unwinding the handler.
+type panicError struct{ val any }
+
+func (e *panicError) Error() string { return fmt.Sprintf("primary detector panic: %v", e.val) }
+
+// scorePrimary runs the primary detector under the request deadline,
+// converting panics to errors. The scoring goroutine cannot be killed
+// on timeout — it finishes in the background while the request
+// degrades; the breaker stops sending traffic to a persistently slow
+// primary.
+func (s *Server) scorePrimary(ctx context.Context, clip layout.Clip) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	type outcome struct {
+		score float64
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Inc()
+				ch <- outcome{0, &panicError{val: p}}
+			}
+		}()
+		if err := faultinject.Hit(PrimarySite); err != nil {
+			ch <- outcome{0, err}
+			return
+		}
+		score, err := s.primary.score(clip)
+		ch <- outcome{score, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.score, out.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
@@ -269,13 +560,22 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "verification disabled", http.StatusNotImplemented)
 		return
 	}
+	if !s.admit(w) {
+		return
+	}
 	clip, err := s.readClip(w, r)
 	if err != nil {
 		clipError(w, err)
 		return
 	}
-	res, err := s.sim.Simulate(clip)
+	ctx, cancel := resilience.WithBudget(r.Context(), s.opts.DeadlineBudget)
+	defer cancel()
+	res, err := s.sim.SimulateCtx(ctx, clip)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}

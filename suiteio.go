@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // suiteFileVersion guards the on-disk suite format.
@@ -21,6 +23,43 @@ type suiteFile struct {
 func SaveSuite(w io.Writer, s *Suite) error {
 	if err := gob.NewEncoder(w).Encode(suiteFile{Version: suiteFileVersion, Suite: s}); err != nil {
 		return fmt.Errorf("hsd: encode suite: %w", err)
+	}
+	return nil
+}
+
+// SaveSuiteFile writes a suite to path crash-safely: the bytes go to a
+// temp file in the same directory, are fsynced, and atomically renamed
+// over path, so an interrupted save never leaves a torn cache behind.
+func SaveSuiteFile(path string, s *Suite) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("hsd: create temp file: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := SaveSuite(tmp, s); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("hsd: fsync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("hsd: close %s: %w", tmp.Name(), err)
+	}
+	name := tmp.Name()
+	tmp = nil // committed: disable the deferred cleanup
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("hsd: rename into place: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
 	}
 	return nil
 }
