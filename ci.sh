@@ -29,6 +29,12 @@ echo "== chaos smoke =="
 # degrades instead of failing; -race because degradation is concurrent.
 go test -run Chaos -race ./internal/serve/ ./internal/core/
 
+echo "== inference smoke =="
+# The batched inference engine must not fall behind the serial
+# per-sample scoring loop (best-of-3, 25% grace margin; see
+# TestParallelInferenceSmoke for the reasoning).
+HSD_INFER_SMOKE=1 go test -run TestParallelInferenceSmoke .
+
 echo "== fuzz seed smoke =="
 # -run=Fuzz executes every fuzz target once per seed corpus entry,
 # without the fuzzing engine; crashes here mean a regressed parser.

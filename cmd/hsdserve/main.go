@@ -9,6 +9,7 @@
 //	         -deadline 500ms -shed-rate 200 -addr :8080
 //
 //	curl -s --data-binary @clip.glt localhost:8080/score
+//	curl -s --data-binary @clip.glt localhost:8080/batch
 //	curl -s --data-binary @clip.glt localhost:8080/verify
 //	curl -s localhost:8080/readyz
 //
@@ -21,7 +22,10 @@
 // Clients that care about verdict provenance must check that field; the
 // HTTP status stays 200. Without a fallback those failures surface as
 // 5xx. When -shed-rate is set, excess traffic is rejected up front with
-// 429 + Retry-After. GET /readyz reports readiness: "ready" (primary
+// 429 + Retry-After. POST /batch is /score with micro-batching:
+// concurrent requests are coalesced (up to -batch-size per pass, waiting
+// at most -batch-wait) into one vectorized pass through the primary;
+// verdicts are identical to /score. GET /readyz reports readiness: "ready" (primary
 // healthy), "degraded" (breaker open, fallback answering, still 200), or
 // "unavailable" (breaker open, no fallback, 503). GET /metrics exposes
 // hotspot_fallbacks_total, requests_shed_total, and the breaker state
@@ -84,6 +88,8 @@ func run() error {
 	fallbackName := flag.String("fallback", "", "zoo detector serving degraded verdicts when the primary fails (empty: no fallback)")
 	deadline := flag.Duration("deadline", 0, "per-request compute budget for /score and /verify (0: unlimited)")
 	shedRate := flag.Float64("shed-rate", 0, "admission-control rate in requests/sec; excess gets 429 (0: no shedding)")
+	batchSize := flag.Int("batch-size", 32, "max POST /batch requests coalesced into one scoring pass")
+	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "max time a /batch request waits for the batch to fill")
 	seed := flag.Int64("seed", 1, "training seed")
 	addr := flag.String("addr", ":8080", "listen address")
 	readTimeout := flag.Duration("read-timeout", 15*time.Second, "max time to read a request")
@@ -139,6 +145,8 @@ func run() error {
 		CoreFrac:       suite.Config.CoreFrac,
 		DeadlineBudget: *deadline,
 		ShedRate:       *shedRate,
+		BatchMaxSize:   *batchSize,
+		BatchMaxWait:   *batchWait,
 	})
 	if err != nil {
 		return err

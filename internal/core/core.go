@@ -46,6 +46,32 @@ type Cloner interface {
 	CloneDetector() Detector
 }
 
+// BatchScorer is implemented by detectors with a vectorized scoring path.
+// ScoreBatch returns one score per clip, in input order, identical to
+// what Score would return for each clip alone. Implementations must be
+// safe for concurrent use after Fit — even when the detector is also a
+// Cloner — so servers can batch across requests without cloning.
+type BatchScorer interface {
+	ScoreBatch(clips []layout.Clip) ([]float64, error)
+}
+
+// ScoreClips scores every clip through the detector's fastest safe path:
+// the vectorized BatchScorer when available, otherwise sequential Score.
+func ScoreClips(d Detector, clips []layout.Clip) ([]float64, error) {
+	if bs, ok := d.(BatchScorer); ok {
+		return bs.ScoreBatch(clips)
+	}
+	out := make([]float64, len(clips))
+	for i, clip := range clips {
+		s, err := d.Score(clip)
+		if err != nil {
+			return nil, fmt.Errorf("core: score clip %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
 // Predict applies the detector's threshold to a clip.
 func Predict(d Detector, clip layout.Clip) (bool, error) {
 	s, err := d.Score(clip)
@@ -359,6 +385,7 @@ type NeuralDetector struct {
 
 var _ Detector = (*NeuralDetector)(nil)
 var _ Cloner = (*NeuralDetector)(nil)
+var _ BatchScorer = (*NeuralDetector)(nil)
 
 // Name implements Detector.
 func (d *NeuralDetector) Name() string { return d.Label + "+" + d.Ex.Name() }
@@ -403,6 +430,26 @@ func (d *NeuralDetector) Score(clip layout.Clip) (float64, error) {
 		return 0, err
 	}
 	return nn.Score(d.net, d.scale.apply(v)), nil
+}
+
+// ScoreBatch implements BatchScorer through the nn batched inference
+// engine: feature extraction per clip, then one parallel arena-backed
+// forward pass. Scores are bit-identical to per-clip Score calls, and
+// the path is read-only on the network, so it is safe for concurrent
+// use without cloning.
+func (d *NeuralDetector) ScoreBatch(clips []layout.Clip) ([]float64, error) {
+	if d.net == nil {
+		return nil, errNotFitted
+	}
+	xs := make([][]float64, len(clips))
+	for i, clip := range clips {
+		v, err := d.Ex.Extract(clip)
+		if err != nil {
+			return nil, fmt.Errorf("core: extract clip %d: %w", i, err)
+		}
+		xs[i] = d.scale.apply(v)
+	}
+	return nn.PredictBatch(d.net, xs, 0)
 }
 
 // Threshold implements Detector.

@@ -49,6 +49,13 @@ func (s *Simulator) SimulateCtx(ctx context.Context, clip layout.Clip) (Result, 
 		return Result{}, fmt.Errorf("lithosim: rasterize clip: %w", err)
 	}
 
+	// target is the drawn pattern at raster resolution, shared by every
+	// corner's geometric checks.
+	target := mask.Threshold(0.5)
+	if w := s.cornerWorkers(); w > 1 {
+		return s.simulateParallel(ctx, clip, mask, target, w)
+	}
+
 	// Aerial images are shared between corners with equal sigma.
 	aerialBySigma := make(map[float64]*raster.Image, 2)
 	var res Result
@@ -64,7 +71,7 @@ func (s *Simulator) SimulateCtx(ctx context.Context, clip layout.Clip) (Result, 
 			aerialBySigma[corner.SigmaScale] = aer
 		}
 		printed := aer.Threshold(s.cfg.Threshold * corner.ThresholdScale)
-		res.Defects = append(res.Defects, s.checkCorner(clip, mask.Threshold(0.5), printed, corner.Name)...)
+		res.Defects = append(res.Defects, s.checkCorner(clip, target, printed, corner.Name)...)
 
 		if pvOr == nil {
 			pvOr = clonemask(printed)

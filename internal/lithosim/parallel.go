@@ -1,0 +1,157 @@
+// Concurrent process-corner evaluation for SimulateCtx.
+//
+// The parallel path splits one simulation into independent units — first
+// the unique-sigma aerial images (the expensive blurs), then the
+// per-corner threshold + geometric checks — and fans them over a bounded
+// worker pool. Defect lists and the PV-band fold are assembled serially
+// in corner order afterwards, so the Result is identical to the serial
+// path for any worker count.
+
+package lithosim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/raster"
+)
+
+// cornerWorkers resolves the configured worker count: 0 means
+// min(NumCPU, corners), anything else is clamped to the corner count.
+func (s *Simulator) cornerWorkers() int {
+	w := s.cfg.CornerWorkers
+	if w == 0 {
+		w = runtime.NumCPU()
+	}
+	if w > len(s.cfg.Corners) {
+		w = len(s.cfg.Corners)
+	}
+	return w
+}
+
+// runIndexed fans fn(0..n-1) over up to `workers` goroutines and waits
+// for all of them. fn must confine itself to index-owned state.
+func runIndexed(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// firstErr returns the lowest-index non-nil error, making the reported
+// interruption corner deterministic regardless of goroutine scheduling.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// simulateParallel evaluates all process corners concurrently. The
+// context contract matches the serial path: cancellation is observed at
+// unit-of-work boundaries, an interrupted simulation returns the wrapped
+// context error, and partial defect lists are never returned.
+func (s *Simulator) simulateParallel(ctx context.Context, clip layout.Clip, mask *raster.Image, target *raster.Mask, workers int) (Result, error) {
+	corners := s.cfg.Corners
+	interrupted := func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("lithosim: simulation interrupted at corner %q: %w", corners[i].Name, err)
+		}
+		return nil
+	}
+
+	// Phase 1: one aerial image per unique sigma (corners sharing a
+	// SigmaScale share the blur, as in the serial path).
+	kernelIdx := make(map[float64]int, 2)
+	var sigmas []float64
+	for i, c := range corners {
+		if _, ok := kernelIdx[c.SigmaScale]; !ok {
+			kernelIdx[c.SigmaScale] = i
+			sigmas = append(sigmas, c.SigmaScale)
+		}
+	}
+	aerials := make([]*raster.Image, len(sigmas))
+	errs := make([]error, len(corners))
+	runIndexed(workers, len(sigmas), func(j int) {
+		ki := kernelIdx[sigmas[j]]
+		if err := interrupted(ki); err != nil {
+			errs[ki] = err
+			return
+		}
+		aerials[j] = blurSeparable(mask, s.kernels[ki])
+	})
+	if err := firstErr(errs); err != nil {
+		return Result{}, err
+	}
+	aerialBySigma := make(map[float64]*raster.Image, len(sigmas))
+	for j, sg := range sigmas {
+		aerialBySigma[sg] = aerials[j]
+	}
+
+	// Phase 2: per-corner resist threshold + geometric checks, each into
+	// its own slot.
+	printed := make([]*raster.Mask, len(corners))
+	defects := make([][]Defect, len(corners))
+	runIndexed(workers, len(corners), func(i int) {
+		if err := interrupted(i); err != nil {
+			errs[i] = err
+			return
+		}
+		corner := corners[i]
+		p := aerialBySigma[corner.SigmaScale].Threshold(s.cfg.Threshold * corner.ThresholdScale)
+		printed[i] = p
+		defects[i] = s.checkCorner(clip, target, p, corner.Name)
+	})
+	if err := firstErr(errs); err != nil {
+		return Result{}, err
+	}
+
+	// Serial fold in corner order: byte-for-byte the serial Result.
+	var res Result
+	var pvOr, pvAnd *raster.Mask
+	for i := range corners {
+		res.Defects = append(res.Defects, defects[i]...)
+		if pvOr == nil {
+			pvOr = clonemask(printed[i])
+			pvAnd = clonemask(printed[i])
+		} else {
+			for j := range printed[i].Pix {
+				if printed[i].Pix[j] != 0 {
+					pvOr.Pix[j] = 1
+				} else {
+					pvAnd.Pix[j] = 0
+				}
+			}
+		}
+	}
+	res.Hotspot = len(res.Defects) > 0
+	pxArea := float64(s.cfg.PixelNM) * float64(s.cfg.PixelNM)
+	res.PVBandArea = float64(pvOr.Count()-pvAnd.Count()) * pxArea
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package lithosim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newSimWorkers(t *testing.T, workers int) *Simulator {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.CornerWorkers = workers
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSimulateParallelEquivalence: the concurrent corner path returns a
+// Result deeply equal to the serial path — same defects in the same
+// order, same PV-band area — across randomized clips and worker counts.
+func TestSimulateParallelEquivalence(t *testing.T) {
+	serial := newSimWorkers(t, 1)
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 12; trial++ {
+		clip := randomTestClip(t, rng)
+		want, err := serial.Simulate(clip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 3, 4, 16} {
+			par := newSimWorkers(t, workers)
+			got, err := par.Simulate(clip)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d workers=%d: parallel result diverged\n got %+v\nwant %+v",
+					trial, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestSimulateParallelConcurrentUse: one parallel-mode simulator shared
+// by many goroutines (the outer concurrency the dataset generator uses)
+// must stay correct under -race.
+func TestSimulateParallelConcurrentUse(t *testing.T) {
+	s := newSimWorkers(t, 4)
+	rng := rand.New(rand.NewSource(52))
+	clips := make([]int, 8)
+	clip := randomTestClip(t, rng)
+	want, err := s.Simulate(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(clips))
+	for i := range clips {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Simulate(clip)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !reflect.DeepEqual(res, want) {
+				errs[i] = errMismatch
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+}
+
+// TestSimulateCtxCancelledParallel: a pre-cancelled context interrupts
+// both modes with the same wrapped error and no partial results.
+func TestSimulateCtxCancelledParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	clip := randomTestClip(t, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		s := newSimWorkers(t, workers)
+		res, err := s.SimulateCtx(ctx, clip)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if !strings.Contains(err.Error(), "interrupted at corner") {
+			t.Fatalf("workers=%d: error %q lacks corner context", workers, err)
+		}
+		if res.Hotspot || res.Defects != nil || res.PVBandArea != 0 {
+			t.Fatalf("workers=%d: partial result returned: %+v", workers, res)
+		}
+	}
+}
+
+// TestCornerWorkersValidation: negative worker counts are a config error.
+func TestCornerWorkersValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CornerWorkers = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative CornerWorkers accepted")
+	}
+}

@@ -1,0 +1,257 @@
+// Batched inference engine: an allocation-free, concurrency-safe forward
+// path over reusable scratch arenas.
+//
+// Network.Forward mutates per-layer caches even in eval mode, so a
+// Network cannot be shared across goroutines. The inference path below
+// reads only layer parameters and writes only arena-owned scratch, which
+// makes one Network safely shareable by any number of workers — each
+// with its own Arena. Determinism contract: every sample's score is
+// computed row-independently with a fixed operation order, so results
+// are bit-identical to the serial Forward/Score path regardless of batch
+// size, chunking, or worker count.
+
+package nn
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/golitho/hsd/internal/tensor"
+)
+
+// inferencer is the optional allocation-free inference path of a layer:
+// read-only on the layer, scratch from the arena. Every in-package layer
+// implements it; foreign layers fall back to Forward(x, false), which
+// loses the concurrency guarantee for that network.
+type inferencer interface {
+	forwardInfer(x *tensor.Matrix, ar *Arena) *tensor.Matrix
+}
+
+// ForwardBatch runs an inference-only forward pass over a batch (one
+// sample per row) using ar for every intermediate activation. Unlike
+// Forward it does not mutate the network, so a single Network may serve
+// concurrent ForwardBatch calls as long as each caller owns its arena.
+//
+// The returned matrix is arena-backed: it is valid until the arena is
+// Reset or used for another pass. A nil arena allocates a private one.
+func (n *Network) ForwardBatch(x *tensor.Matrix, ar *Arena) *tensor.Matrix {
+	if ar == nil {
+		ar = NewArena()
+	}
+	for _, l := range n.Layers {
+		if inf, ok := l.(inferencer); ok {
+			x = inf.forwardInfer(x, ar)
+		} else {
+			x = l.Forward(x, false)
+		}
+	}
+	return x
+}
+
+// predictChunk is the micro-batch row count of PredictBatch: small
+// enough that per-worker scratch stays cache-resident, large enough to
+// amortize the batched matmuls.
+const predictChunk = 32
+
+// PredictBatch scores many samples through the batched inference engine
+// and returns the per-sample hotspot probability, in input order.
+// Chunks of predictChunk rows are scored by up to `workers` goroutines
+// (workers <= 0 means GOMAXPROCS), each with a pooled scratch arena.
+//
+// Output is deterministic: identical inputs yield bit-identical scores
+// for any worker count, and identical to the serial Score path.
+func PredictBatch(net *Network, x [][]float64, workers int) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, nil
+	}
+	dim := len(x[0])
+	for i := range x {
+		if len(x[i]) != dim {
+			return nil, fmt.Errorf("nn: sample %d has dim %d, want %d", i, len(x[i]), dim)
+		}
+	}
+	if net.OutDim() != 2 {
+		return nil, fmt.Errorf("nn: PredictBatch needs a 2-logit head, got %d", net.OutDim())
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nchunks := (len(x) + predictChunk - 1) / predictChunk
+	if workers > nchunks {
+		workers = nchunks
+	}
+	out := make([]float64, len(x))
+	scoreChunk := func(ar *Arena, start int) {
+		end := min(start+predictChunk, len(x))
+		ar.Reset()
+		xb := ar.get(end-start, dim)
+		for i := start; i < end; i++ {
+			copy(xb.Row(i-start), x[i])
+		}
+		logits := net.ForwardBatch(xb, ar)
+		logits.SoftmaxRows()
+		for i := 0; i < logits.Rows; i++ {
+			out[start+i] = logits.At(i, 1)
+		}
+	}
+	if workers == 1 {
+		ar := getArena()
+		for start := 0; start < len(x); start += predictChunk {
+			scoreChunk(ar, start)
+		}
+		putArena(ar)
+		return out, nil
+	}
+	starts := make(chan int, nchunks)
+	for start := 0; start < len(x); start += predictChunk {
+		starts <- start
+	}
+	close(starts)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ar := getArena()
+			defer putArena(ar)
+			for start := range starts {
+				scoreChunk(ar, start)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// forwardInfer implements inferencer: y = x*W + b without touching the
+// input cache.
+func (d *Dense) forwardInfer(x *tensor.Matrix, ar *Arena) *tensor.Matrix {
+	checkCols(d.Name(), d.In, x.Cols)
+	out := ar.get(x.Rows, d.Out)
+	tensor.ParallelMatMulInto(out, x, d.W)
+	if err := out.AddRowVector(d.B); err != nil {
+		panic(err) // impossible: dimensions fixed at construction
+	}
+	return out
+}
+
+// forwardInfer implements inferencer.
+func (r *ReLU) forwardInfer(x *tensor.Matrix, ar *Arena) *tensor.Matrix {
+	checkCols(r.Name(), r.Dim, x.Cols)
+	out := ar.get(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// forwardInfer implements inferencer: inference dropout is the identity.
+func (d *Dropout) forwardInfer(x *tensor.Matrix, _ *Arena) *tensor.Matrix {
+	checkCols(d.Name(), d.Dim, x.Cols)
+	return x
+}
+
+// forwardInfer implements inferencer: the running-statistics eval path.
+func (b *BatchNorm) forwardInfer(x *tensor.Matrix, ar *Arena) *tensor.Matrix {
+	checkCols(b.Name(), b.Dim, x.Cols)
+	out := ar.get(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		src, dst := x.Row(i), out.Row(i)
+		for j := range src {
+			xhat := (src[j] - b.RunMean[j]) / math.Sqrt(b.RunVar[j]+b.Eps)
+			dst[j] = b.Gamma[j]*xhat + b.Beta[j]
+		}
+	}
+	return out
+}
+
+// forwardInfer implements inferencer: im2col + matmul with all scratch
+// (cols, product) arena-backed and reused across samples.
+func (c *Conv2D) forwardInfer(x *tensor.Matrix, ar *Arena) *tensor.Matrix {
+	checkCols(c.Name(), c.InC*c.InH*c.InW, x.Cols)
+	oh, ow := c.OutH(), c.OutW()
+	out := ar.get(x.Rows, c.OutDim())
+	cols := ar.get(c.InC*c.K*c.K, oh*ow)
+	prod := ar.get(c.OutC, oh*ow)
+	for i := 0; i < x.Rows; i++ {
+		if i > 0 && c.Pad > 0 {
+			// Padded receptive-field cells are skipped by im2colInto and
+			// must read as zero from the previous sample's fill.
+			cols.Zero()
+		}
+		c.im2colInto(x.Row(i), cols)
+		tensor.MatMulInto(prod, c.W, cols)
+		dst := out.Row(i)
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.B[oc]
+			src := prod.Row(oc)
+			base := oc * oh * ow
+			for p, v := range src {
+				dst[base+p] = v + bias
+			}
+		}
+	}
+	return out
+}
+
+// im2colInto is im2col writing into a caller-owned matrix whose
+// out-of-image cells are already zero.
+func (c *Conv2D) im2colInto(sample []float64, cols *tensor.Matrix) {
+	oh, ow := c.OutH(), c.OutW()
+	for ch := 0; ch < c.InC; ch++ {
+		chOff := ch * c.InH * c.InW
+		for ky := 0; ky < c.K; ky++ {
+			for kx := 0; kx < c.K; kx++ {
+				rowIdx := (ch*c.K+ky)*c.K + kx
+				dst := cols.Row(rowIdx)
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.Stride + ky - c.Pad
+					if iy < 0 || iy >= c.InH {
+						continue
+					}
+					srcRow := chOff + iy*c.InW
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if ix < 0 || ix >= c.InW {
+							continue
+						}
+						dst[oy*ow+ox] = sample[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+}
+
+// forwardInfer implements inferencer: max pooling without argmax caches.
+func (m *MaxPool2D) forwardInfer(x *tensor.Matrix, ar *Arena) *tensor.Matrix {
+	checkCols(m.Name(), m.C*m.H*m.W, x.Cols)
+	oh, ow := m.H/m.Size, m.W/m.Size
+	out := ar.get(x.Rows, m.OutDim())
+	for i := 0; i < x.Rows; i++ {
+		src := x.Row(i)
+		dst := out.Row(i)
+		for ch := 0; ch < m.C; ch++ {
+			chOff := ch * m.H * m.W
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					for dy := 0; dy < m.Size; dy++ {
+						row := chOff + (oy*m.Size+dy)*m.W
+						for dx := 0; dx < m.Size; dx++ {
+							if v := src[row+ox*m.Size+dx]; v > best {
+								best = v
+							}
+						}
+					}
+					dst[(ch*oh+oy)*ow+ox] = best
+				}
+			}
+		}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/golitho/hsd/internal/resilience"
 	"github.com/golitho/hsd/internal/tensor"
 )
 
@@ -27,6 +28,9 @@ type TrainConfig struct {
 	LRStepFactor float64
 	// Verbose receives one line per epoch when non-nil.
 	Verbose func(format string, args ...any)
+	// Clock drives epoch timing (default the wall clock). Injectable so
+	// timing-sensitive tests stay deterministic under parallel execution.
+	Clock resilience.Clock
 }
 
 // lrScalable is satisfied by optimizers supporting learning-rate decay.
@@ -41,6 +45,9 @@ func (c *TrainConfig) normalize() {
 	}
 	if c.Optimizer == nil {
 		c.Optimizer = NewAdam(1e-3)
+	}
+	if c.Clock == nil {
+		c.Clock = resilience.Real
 	}
 }
 
@@ -83,7 +90,7 @@ func Fit(net *Network, x [][]float64, y []int, cfg TrainConfig) ([]EpochStats, e
 	}
 	var history []EpochStats
 	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
-		epochStart := time.Now()
+		epochStart := cfg.Clock.Now()
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var lossSum float64
 		correct, batches := 0, 0
@@ -112,7 +119,7 @@ func Fit(net *Network, x [][]float64, y []int, cfg TrainConfig) ([]EpochStats, e
 			Epoch:   epoch,
 			Loss:    lossSum / float64(batches),
 			Acc:     float64(correct) / float64(n),
-			Elapsed: time.Since(epochStart),
+			Elapsed: cfg.Clock.Now().Sub(epochStart),
 		}
 		history = append(history, st)
 		if cfg.Verbose != nil {

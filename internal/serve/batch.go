@@ -1,0 +1,252 @@
+// POST /batch micro-batching: concurrent score requests are coalesced
+// into one vectorized pass through the primary detector.
+//
+// The first request of a window becomes the batch leader; followers
+// append themselves and wait. The leader flushes when the batch reaches
+// Options.BatchMaxSize or Options.BatchMaxWait elapses, whichever comes
+// first, scoring every collected clip in a single BatchScorer call
+// behind the same breaker/deadline/fallback cascade as /score. Scores
+// are identical to /score (the batched inference path is bit-equal to
+// the serial one), so batching changes latency, never verdicts.
+
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/golitho/hsd/internal/core"
+	"github.com/golitho/hsd/internal/faultinject"
+	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/resilience"
+)
+
+// batchResult is one request's outcome, delivered on its done channel.
+type batchResult struct {
+	resp ScoreResponse
+	err  error
+}
+
+// batchItem is one request waiting in a pending batch.
+type batchItem struct {
+	clip layout.Clip
+	ctx  context.Context
+	done chan batchResult // buffered; flush never blocks on delivery
+}
+
+// pendingBatch collects items until it is flushed by its leader.
+type pendingBatch struct {
+	items []*batchItem
+	full  chan struct{} // closed when the batch reaches maxSize
+}
+
+// batcher coalesces submissions into pending batches. There is no
+// background goroutine: the leader request drives the flush, so the
+// batcher needs no lifecycle management.
+type batcher struct {
+	srv     *Server
+	maxSize int
+	maxWait time.Duration
+	clock   resilience.Clock
+
+	mu  sync.Mutex
+	cur *pendingBatch
+}
+
+// submit enqueues one clip and blocks until its batch is scored or ctx
+// is done. Cancelled submissions stop waiting immediately; the flusher
+// later skips them without scoring.
+func (b *batcher) submit(ctx context.Context, clip layout.Clip) (ScoreResponse, error) {
+	item := &batchItem{clip: clip, ctx: ctx, done: make(chan batchResult, 1)}
+	b.mu.Lock()
+	leader := b.cur == nil
+	if leader {
+		b.cur = &pendingBatch{full: make(chan struct{})}
+	}
+	pb := b.cur
+	pb.items = append(pb.items, item)
+	if len(pb.items) >= b.maxSize {
+		// Full: detach so the next submission opens a fresh batch, and
+		// wake the leader without waiting out the batch window.
+		b.cur = nil
+		close(pb.full)
+	}
+	b.mu.Unlock()
+
+	if leader {
+		select {
+		case <-pb.full:
+		case <-b.clock.After(b.maxWait):
+			b.detach(pb)
+		case <-ctx.Done():
+			// A cancelled leader still owes its followers a flush.
+			b.detach(pb)
+		}
+		b.flush(pb)
+	}
+	select {
+	case res := <-item.done:
+		return res.resp, res.err
+	case <-ctx.Done():
+		return ScoreResponse{}, ctx.Err()
+	}
+}
+
+// detach removes pb from the collection slot (if still there) so the
+// next submission opens a fresh batch.
+func (b *batcher) detach(pb *pendingBatch) {
+	b.mu.Lock()
+	if b.cur == pb {
+		b.cur = nil
+	}
+	b.mu.Unlock()
+}
+
+// flush scores a detached batch and delivers per-item results. Items
+// whose context is already done are answered with that error and
+// excluded from the scoring pass.
+func (b *batcher) flush(pb *pendingBatch) {
+	live := make([]*batchItem, 0, len(pb.items))
+	for _, it := range pb.items {
+		if err := it.ctx.Err(); err != nil {
+			it.done <- batchResult{err: err}
+			continue
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+	b.srv.batchSize.Observe(float64(len(live)))
+	start := b.clock.Now()
+	b.srv.batchCascade(live)
+	b.srv.batchLatency.ObserveDuration(b.clock.Now().Sub(start))
+}
+
+// batchCascade is the /score degradation ladder applied to a whole
+// batch: primary (vectorized, behind breaker + budget + panic capture),
+// then per-item fallback. One primary failure degrades every request in
+// the batch — the requests shared the failed pass — but never 5xxes
+// them while a fallback exists.
+func (s *Server) batchCascade(items []*batchItem) {
+	clips := make([]layout.Clip, len(items))
+	for i, it := range items {
+		clips[i] = it.clip
+	}
+	var primaryErr error
+	reason := ""
+	if s.breaker.Allow() {
+		var scores []float64
+		scores, primaryErr = s.scoreBatchPrimary(clips)
+		s.breaker.Record(primaryErr)
+		if primaryErr == nil {
+			name, thr := s.primary.det.Name(), s.primary.det.Threshold()
+			for i, it := range items {
+				it.done <- batchResult{resp: ScoreResponse{
+					Detector: name, Score: scores[i],
+					Threshold: thr, Hotspot: scores[i] >= thr,
+				}}
+			}
+			return
+		}
+		s.primaryErrs.Inc()
+		reason = degradedReason(primaryErr)
+	} else {
+		primaryErr = resilience.ErrOpen
+		reason = "breaker-open"
+	}
+	if s.fallback == nil {
+		for _, it := range items {
+			it.done <- batchResult{err: primaryErr}
+		}
+		return
+	}
+	name, thr := s.fallback.det.Name(), s.fallback.det.Threshold()
+	for _, it := range items {
+		score, err := s.fallback.score(it.clip)
+		if err != nil {
+			it.done <- batchResult{err: fmt.Errorf("fallback (after primary %s): %w", reason, err)}
+			continue
+		}
+		s.fallbacks.Inc()
+		it.done <- batchResult{resp: ScoreResponse{
+			Detector: name, Score: score,
+			Threshold: thr, Hotspot: score >= thr,
+			Degraded: true, DegradedReason: reason,
+		}}
+	}
+}
+
+// scoreBatchPrimary runs the primary detector's batch path under a
+// fresh deadline budget (the batch outlives any single request context),
+// converting panics to errors exactly like scorePrimary.
+func (s *Server) scoreBatchPrimary(clips []layout.Clip) ([]float64, error) {
+	ctx, cancel := resilience.WithBudget(context.Background(), s.opts.DeadlineBudget)
+	defer cancel()
+	type outcome struct {
+		scores []float64
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Inc()
+				ch <- outcome{nil, &panicError{val: p}}
+			}
+		}()
+		if err := faultinject.Hit(PrimarySite); err != nil {
+			ch <- outcome{nil, err}
+			return
+		}
+		scores, err := s.primary.scoreBatch(clips)
+		ch <- outcome{scores, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.scores, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// scoreBatch scores clips through the detector's vectorized path when
+// it has one (core.BatchScorer is concurrent-safe by contract) and the
+// serialized clone path otherwise.
+func (s *scorer) scoreBatch(clips []layout.Clip) ([]float64, error) {
+	if bs, ok := s.det.(core.BatchScorer); ok {
+		return bs.ScoreBatch(clips)
+	}
+	if s.clone != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return core.ScoreClips(s.clone, clips)
+	}
+	return core.ScoreClips(s.det, clips)
+}
+
+// handleBatch is POST /batch: one clip per request, scored through the
+// micro-batcher. The response schema matches /score.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	clip, err := s.readClip(w, r)
+	if err != nil {
+		clipError(w, err)
+		return
+	}
+	resp, err := s.batch.submit(r.Context(), clip)
+	if err != nil {
+		s.cascadeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

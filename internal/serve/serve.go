@@ -5,6 +5,7 @@
 // Endpoints:
 //
 //	POST /score   body: GLT layout of one clip window -> {"score":..,"hotspot":..}
+//	POST /batch   same body; concurrent requests coalesce into one scoring pass
 //	POST /verify  same body -> full oracle verdict with defects
 //	GET  /healthz -> {"status":"ok","detector":"..."}  (liveness)
 //	GET  /readyz  -> breaker state + fallback availability (readiness)
@@ -84,6 +85,12 @@ type Options struct {
 	// any parsing or scoring work happens.
 	ShedRate  float64
 	ShedBurst float64
+	// BatchMaxSize caps how many POST /batch requests are coalesced into
+	// one scoring pass (default 32).
+	BatchMaxSize int
+	// BatchMaxWait is how long the first request of a batch waits for
+	// company before flushing a partial batch (default 2ms).
+	BatchMaxWait time.Duration
 	// Clock drives breaker and shedder timing (default the wall clock).
 	Clock resilience.Clock
 }
@@ -125,12 +132,15 @@ type Server struct {
 
 	breaker *resilience.Breaker
 	shed    *resilience.Shedder // nil when shedding is disabled
+	batch   *batcher
 
-	reg         *telemetry.Registry
-	panics      *telemetry.Counter
-	fallbacks   *telemetry.Counter
-	shedTotal   *telemetry.Counter
-	primaryErrs *telemetry.Counter
+	reg          *telemetry.Registry
+	panics       *telemetry.Counter
+	fallbacks    *telemetry.Counter
+	shedTotal    *telemetry.Counter
+	primaryErrs  *telemetry.Counter
+	batchSize    *telemetry.Histogram
+	batchLatency *telemetry.Histogram
 }
 
 // New constructs a Server with no fallback, deadline, or shedding —
@@ -165,18 +175,34 @@ func NewServer(opts Options) (*Server, error) {
 	reg.SetHelp("requests_shed_total", "Requests rejected 429 by the admission token bucket.")
 	reg.SetHelp("hotspot_breaker_state", "Primary-detector circuit breaker state: 0=closed, 1=half-open, 2=open.")
 	reg.SetHelp("hotspot_primary_failures_total", "Primary detector failures (errors, panics, deadline overruns).")
+	reg.SetHelp("batch_size", "Requests coalesced per /batch scoring pass.")
+	reg.SetHelp("batch_latency_seconds", "Latency of one /batch scoring pass (flush to results).")
 
+	if opts.BatchMaxSize <= 0 {
+		opts.BatchMaxSize = 32
+	}
+	if opts.BatchMaxWait <= 0 {
+		opts.BatchMaxWait = 2 * time.Millisecond
+	}
 	s := &Server{
-		opts:        opts,
-		primary:     newScorer(opts.Primary),
-		sim:         opts.Sim,
-		clipNM:      opts.ClipNM,
-		coreFrac:    opts.CoreFrac,
-		reg:         reg,
-		panics:      reg.Counter("http_panics_total"),
-		fallbacks:   reg.Counter("hotspot_fallbacks_total"),
-		shedTotal:   reg.Counter("requests_shed_total"),
-		primaryErrs: reg.Counter("hotspot_primary_failures_total"),
+		opts:         opts,
+		primary:      newScorer(opts.Primary),
+		sim:          opts.Sim,
+		clipNM:       opts.ClipNM,
+		coreFrac:     opts.CoreFrac,
+		reg:          reg,
+		panics:       reg.Counter("http_panics_total"),
+		fallbacks:    reg.Counter("hotspot_fallbacks_total"),
+		shedTotal:    reg.Counter("requests_shed_total"),
+		primaryErrs:  reg.Counter("hotspot_primary_failures_total"),
+		batchSize:    reg.Histogram("batch_size", []float64{1, 2, 4, 8, 16, 32, 64}),
+		batchLatency: reg.Histogram("batch_latency_seconds", nil),
+	}
+	s.batch = &batcher{
+		srv:     s,
+		maxSize: opts.BatchMaxSize,
+		maxWait: opts.BatchMaxWait,
+		clock:   opts.Clock,
 	}
 	if opts.Fallback != nil {
 		s.fallback = newScorer(opts.Fallback)
@@ -213,6 +239,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
 	mux.HandleFunc("/readyz", s.instrument("/readyz", s.handleReady))
 	mux.HandleFunc("/score", s.instrument("/score", s.handleScore))
+	mux.HandleFunc("/batch", s.instrument("/batch", s.handleBatch))
 	mux.HandleFunc("/verify", s.instrument("/verify", s.handleVerify))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux

@@ -1,0 +1,45 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMinWork is the multiply-add count below which ParallelMatMulInto
+// runs sequentially: under ~64k flops the goroutine handoff costs more
+// than the arithmetic it would hide.
+const parallelMinWork = 1 << 16
+
+// ParallelMatMulInto computes dst = a * b with rows sharded across up to
+// runtime.NumCPU() workers. Results are bit-identical to MatMulInto for
+// any worker count: each dst row is owned by exactly one worker and is
+// accumulated in the same order as the serial kernel.
+func ParallelMatMulInto(dst, a, b *Matrix) {
+	ParallelMatMulIntoWorkers(dst, a, b, runtime.NumCPU())
+}
+
+// ParallelMatMulIntoWorkers is ParallelMatMulInto with an explicit worker
+// bound, for tests and callers that manage their own parallelism budget.
+// workers <= 1, tiny products (see parallelMinWork), and single-row
+// outputs all fall back to the sequential kernel.
+func ParallelMatMulIntoWorkers(dst, a, b *Matrix, workers int) {
+	checkMatMulShapes(dst, a, b)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers <= 1 || a.Rows*a.Cols*b.Cols < parallelMinWork {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	chunk := (a.Rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for r0 := 0; r0 < a.Rows; r0 += chunk {
+		r1 := min(r0+chunk, a.Rows)
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			matMulRows(dst, a, b, r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}

@@ -76,25 +76,58 @@ func MatMul(a, b *Matrix) (*Matrix, error) {
 	return out, nil
 }
 
+// Cache-blocking tile sizes for MatMulInto. The k tile keeps a band of b
+// rows resident while each dst row accumulates; the j tile keeps the
+// dst-row segment in L1 across the band. Per-element accumulation order
+// stays ascending in k (tiles are visited in order), so blocked results
+// are bit-identical to the plain i-k-j loop.
+const (
+	mmBlockK = 64
+	mmBlockJ = 512
+)
+
 // MatMulInto computes dst = a * b; dst must be pre-sized a.Rows x b.Cols.
-// The i-k-j loop order keeps the inner loop contiguous in both b and dst.
+// The i-k-j loop order keeps the inner loop contiguous in both b and dst,
+// and the k/j tiles keep the working set cache-resident for large shapes.
 func MatMulInto(dst, a, b *Matrix) {
+	checkMatMulShapes(dst, a, b)
+	matMulRows(dst, a, b, 0, a.Rows)
+}
+
+func checkMatMulShapes(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul shapes %dx%d * %dx%d -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
+}
+
+// matMulRows computes rows [r0, r1) of dst = a * b, zeroing exactly the
+// rows it owns. Each dst row is produced independently, which is what
+// lets ParallelMatMulInto shard rows across workers without changing any
+// result bit.
+func matMulRows(dst, a, b *Matrix, r0, r1 int) {
+	n := b.Cols
+	for i := r0; i < r1; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j := range brow {
-				drow[j] += av * brow[j]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k0 := 0; k0 < a.Cols; k0 += mmBlockK {
+			k1 := min(k0+mmBlockK, a.Cols)
+			for j0 := 0; j0 < n; j0 += mmBlockJ {
+				j1 := min(j0+mmBlockJ, n)
+				dseg := drow[j0:j1]
+				for k := k0; k < k1; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					bseg := b.Data[k*n+j0 : k*n+j1]
+					for j, bv := range bseg {
+						dseg[j] += av * bv
+					}
+				}
 			}
 		}
 	}

@@ -9,4 +9,17 @@ echo "# chunk B: figures and ablations" >> bench_output.txt
 go test -timeout 60m -bench 'Fig3|Fig4|Fig5|Fig6|Ablation' -benchmem -run XXX . >> bench_output.txt 2>&1
 echo "# chunk C: micro-benchmarks" >> bench_output.txt
 go test -timeout 60m -bench . -benchmem -run XXX ./internal/... >> bench_output.txt 2>&1
+echo "# chunk D: inference engine (appends trajectory to BENCH_inference.json)" >> bench_output.txt
+infer_out=$(go test -timeout 60m -bench 'PredictBatch|ParallelMatMul' -benchmem -run XXX . 2>&1)
+echo "$infer_out" >> bench_output.txt
+echo "$infer_out" | awk -v ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+	/^Benchmark/ {
+		name = $1; ns = "null"; bytes = "null"; allocs = "null"
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "ns/op") ns = $i
+			if ($(i+1) == "B/op") bytes = $i
+			if ($(i+1) == "allocs/op") allocs = $i
+		}
+		printf("{\"ts\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n", ts, name, ns, bytes, allocs)
+	}' >> BENCH_inference.json
 echo "# done" >> bench_output.txt
