@@ -40,4 +40,15 @@ echo "== fuzz seed smoke =="
 # without the fuzzing engine; crashes here mean a regressed parser.
 go test -run=Fuzz ./internal/layout/ ./internal/gdsii/
 
+echo "== trace store race =="
+# The trace store and tail sampler are hit from every request
+# goroutine; their concurrency tests must hold under the detector.
+go test -run 'TestConcurrentAppendRead|TestChaosTailSampling' -race ./internal/trace/
+
+echo "== trace smoke =="
+# End to end: boot hsdserve with tracing and a debug listener, score
+# one clip, and assert /debug/traces returns that request's trace with
+# non-empty child spans (raster/features/inference under the root).
+./scripts/trace_smoke.sh
+
 echo "ci: all checks passed"

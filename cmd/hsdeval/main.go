@@ -7,9 +7,17 @@
 //	hsdeval -suite suite.gob                  # evaluate a cached suite
 //	hsdeval -seed 1 -small                    # generate on the fly
 //	hsdeval -suite suite.gob -figures -bench B1
+//	hsdeval -small -trace eval.json           # per-stage ODST timeline
+//
+// -trace records every zoo evaluation as one trace — an "eval" span
+// whose "fit", "score", and "verify" children decompose the reported
+// ODST terms, with the per-clip raster/features/inference spans nested
+// inside — and writes them all as Chrome trace_event JSON for
+// about:tracing or https://ui.perfetto.dev.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +25,7 @@ import (
 
 	hsd "github.com/golitho/hsd"
 	"github.com/golitho/hsd/internal/experiments"
+	"github.com/golitho/hsd/internal/trace"
 )
 
 func main() {
@@ -33,6 +42,7 @@ func run() error {
 	figures := flag.Bool("figures", false, "also regenerate figure data (slower)")
 	figBench := flag.String("bench", "", "benchmark for figures (default: first)")
 	noODST := flag.Bool("no-odst", false, "skip lithography verification of flagged clips")
+	traceOut := flag.String("trace", "", "write per-evaluation Chrome trace_event JSON to this file (about:tracing / ui.perfetto.dev)")
 	flag.Parse()
 
 	suite, err := loadOrGenerate(*suitePath, *seed, *small)
@@ -50,10 +60,35 @@ func run() error {
 	}
 
 	zoo := hsd.SurveyZoo(*seed)
+	ctx := context.Background()
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		// One trace per (detector, benchmark) evaluation; a single shard
+		// makes the store an exact FIFO ring so none are evicted early by
+		// uneven trace-ID hashing (the writer is one goroutine anyway).
+		tracer = trace.New(trace.Config{Capacity: len(zoo)*len(suite.Benchmarks) + 1, Shards: 1})
+		ctx = trace.WithTracer(ctx, tracer)
+	}
 	t0 := time.Now()
-	results, err := experiments.RunZoo(suite, zoo, sim)
+	results, err := experiments.RunZooCtx(ctx, suite, zoo, sim)
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		traces := tracer.Traces(0)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, traces); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d evaluation traces to %s (load in about:tracing or ui.perfetto.dev)\n",
+			len(traces), *traceOut)
 	}
 	shallowSpecs, deepSpecs := experiments.SplitZoo(zoo)
 	shallow := results[:len(shallowSpecs)]

@@ -6,9 +6,16 @@
 //
 //	hsdscan -suite suite.gob -bench B1 -detector AdaBoost -gen-edge 32768
 //	hsdscan -suite suite.gob -chip chip.glt -detector CNN-biased -verify
+//	hsdscan -suite suite.gob -trace scan.json   # per-window span timeline
+//
+// -trace writes the scan as a Chrome trace_event JSON file: one
+// "hsdscan" root span with a "scan.window" span per window and the
+// raster/features/inference stages nested inside each. Load it in
+// about:tracing or https://ui.perfetto.dev.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +23,7 @@ import (
 	"time"
 
 	hsd "github.com/golitho/hsd"
+	"github.com/golitho/hsd/internal/trace"
 )
 
 func main() {
@@ -36,6 +44,7 @@ func run() error {
 	verify := flag.Bool("verify", false, "verify findings with lithography simulation")
 	topN := flag.Int("top", 20, "print at most this many findings")
 	metrics := flag.Bool("metrics", false, "print scan telemetry snapshot after scanning")
+	traceOut := flag.String("trace", "", "write the scan as Chrome trace_event JSON to this file (about:tracing / ui.perfetto.dev)")
 	flag.Parse()
 
 	f, err := os.Open(*suitePath)
@@ -106,12 +115,29 @@ func run() error {
 	if *metrics {
 		reg = hsd.NewMetricsRegistry()
 	}
+	ctx := context.Background()
+	var tracer *trace.Tracer
+	var root *trace.Span
+	if *traceOut != "" {
+		tracer = trace.New(trace.Config{Capacity: 4, Shards: 1})
+		ctx = trace.WithTracer(ctx, tracer)
+		ctx, root = trace.Start(ctx, "hsdscan",
+			trace.A("detector", det.Name()), trace.A("chip", chip.Name))
+	}
 	t1 := time.Now()
-	findings, err := hsd.Scan(chip, det, hsd.ScanConfig{SkipEmpty: true, Metrics: reg})
+	res, err := hsd.ScanContext(ctx, chip, det, hsd.ScanConfig{SkipEmpty: true, Metrics: reg})
+	root.End()
 	if err != nil {
 		return err
 	}
+	findings := res.Findings
 	fmt.Printf("scan flagged %d windows in %v\n", len(findings), time.Since(t1).Round(time.Millisecond))
+	if tracer != nil {
+		if err := writeChromeTrace(*traceOut, tracer); err != nil {
+			return err
+		}
+		fmt.Printf("wrote scan trace to %s (load in about:tracing or ui.perfetto.dev)\n", *traceOut)
+	}
 
 	var sim *hsd.Simulator
 	if *verify {
@@ -161,4 +187,18 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// writeChromeTrace dumps every trace the tracer retained as one Chrome
+// trace_event JSON file.
+func writeChromeTrace(path string, tracer *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tracer.Traces(0)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

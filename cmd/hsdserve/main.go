@@ -28,8 +28,18 @@
 // verdicts are identical to /score. GET /readyz reports readiness: "ready" (primary
 // healthy), "degraded" (breaker open, fallback answering, still 200), or
 // "unavailable" (breaker open, no fallback, 503). GET /metrics exposes
-// hotspot_fallbacks_total, requests_shed_total, and the breaker state
-// gauge (hotspot_breaker_state: 0 closed, 1 half-open, 2 open).
+// hotspot_fallbacks_total, requests_shed_total, the breaker state
+// gauge (hotspot_breaker_state: 0 closed, 1 half-open, 2 open), Go
+// runtime stats, and the per-stage hotspot_stage_seconds histograms.
+//
+// Every request is traced end to end (raster -> features -> inference,
+// plus per-corner simulation spans on /verify); the tail sampler always
+// keeps slow, errored, degraded, and shed traces and samples the rest
+// at -trace-sample. GET /debug/traces lists retained traces as JSON
+// (?id= for one, ?limit=N); GET /debug/traces/chrome exports them in
+// Chrome trace_event format for about:tracing or ui.perfetto.dev. With
+// -debug-addr a second, private listener additionally serves
+// /debug/pprof/ — keep it off the public interface.
 package main
 
 import (
@@ -49,6 +59,7 @@ import (
 	"github.com/golitho/hsd/internal/core"
 	"github.com/golitho/hsd/internal/lithosim"
 	"github.com/golitho/hsd/internal/serve"
+	"github.com/golitho/hsd/internal/trace"
 )
 
 func main() {
@@ -92,6 +103,10 @@ func run() error {
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "max time a /batch request waits for the batch to fill")
 	seed := flag.Int64("seed", 1, "training seed")
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "private listen address for /debug/pprof/ and the trace endpoints (empty: no debug listener)")
+	traceSample := flag.Float64("trace-sample", 1, "fraction of unflagged traces the tail sampler retains; slow/errored/degraded/shed traces are always kept")
+	traceCapacity := flag.Int("trace-capacity", 256, "finished traces retained for /debug/traces (oldest evicted)")
+	traceSlow := flag.Duration("trace-slow", 0, "flag traces at least this slow so the sampler always keeps them (0: off)")
 	readTimeout := flag.Duration("read-timeout", 15*time.Second, "max time to read a request")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "max time to write a response (covers /verify simulation)")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
@@ -147,6 +162,11 @@ func run() error {
 		ShedRate:       *shedRate,
 		BatchMaxSize:   *batchSize,
 		BatchMaxWait:   *batchWait,
+		Trace: &trace.Config{
+			Capacity:      *traceCapacity,
+			SampleRate:    *traceSample,
+			SlowThreshold: *traceSlow,
+		},
 	})
 	if err != nil {
 		return err
@@ -161,14 +181,33 @@ func run() error {
 		MaxHeaderBytes:    1 << 20,
 	}
 
+	// The debug listener is private: pprof endpoints can stall the
+	// process, so they never share the serving mux.
+	var debugServer *http.Server
+	if *debugAddr != "" {
+		debugServer = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv.DebugMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+	}
+
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving hotspot detection on %s (POST /score, POST /verify, GET /readyz, GET /metrics)", *addr)
+		log.Printf("serving hotspot detection on %s (POST /score, POST /verify, GET /readyz, GET /metrics, GET /debug/traces)", *addr)
 		errCh <- httpServer.ListenAndServe()
 	}()
+	if debugServer != nil {
+		go func() {
+			log.Printf("debug listener on %s (/debug/pprof/, /debug/traces)", *debugAddr)
+			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 	select {
 	case err := <-errCh:
 		return err
@@ -178,6 +217,9 @@ func run() error {
 	log.Printf("shutting down (grace %v)", *shutdownGrace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
+	if debugServer != nil {
+		_ = debugServer.Shutdown(shutdownCtx)
+	}
 	if err := httpServer.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

@@ -288,6 +288,14 @@ func Evaluate(det Detector, bench string, train, test []LabeledClip, opt EvalOpt
 	return core.Evaluate(det, bench, train, test, opt)
 }
 
+// EvaluateCtx is Evaluate with trace attribution: when ctx carries a
+// tracer (see internal/trace), the run records an "eval" span whose
+// "fit", "score", and "verify" children decompose the reported ODST
+// terms directly.
+func EvaluateCtx(ctx context.Context, det Detector, bench string, train, test []LabeledClip, opt EvalOptions) (EvalResult, error) {
+	return core.EvaluateCtx(ctx, det, bench, train, test, opt)
+}
+
 // EvaluateSuite runs a detector factory across a whole suite.
 func EvaluateSuite(factory func() Detector, suite *Suite, opt EvalOptions) ([]EvalResult, error) {
 	return core.EvaluateSuite(factory, suite, opt)

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -438,18 +439,7 @@ func (d *NeuralDetector) Score(clip layout.Clip) (float64, error) {
 // the path is read-only on the network, so it is safe for concurrent
 // use without cloning.
 func (d *NeuralDetector) ScoreBatch(clips []layout.Clip) ([]float64, error) {
-	if d.net == nil {
-		return nil, errNotFitted
-	}
-	xs := make([][]float64, len(clips))
-	for i, clip := range clips {
-		v, err := d.Ex.Extract(clip)
-		if err != nil {
-			return nil, fmt.Errorf("core: extract clip %d: %w", i, err)
-		}
-		xs[i] = d.scale.apply(v)
-	}
-	return nn.PredictBatch(d.net, xs, 0)
+	return d.ScoreBatchCtx(context.Background(), clips)
 }
 
 // Threshold implements Detector.

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/golitho/hsd/internal/iccad"
 	"github.com/golitho/hsd/internal/lithosim"
 	"github.com/golitho/hsd/internal/metrics"
+	"github.com/golitho/hsd/internal/trace"
 )
 
 // EvalOptions controls Evaluate.
@@ -71,14 +73,31 @@ func FromSamples(samples []iccad.Sample) []LabeledClip {
 // Evaluate trains det on the training split and measures it on the test
 // split under the ICCAD-2012 protocol.
 func Evaluate(det Detector, benchName string, train, test []LabeledClip, opt EvalOptions) (Result, error) {
+	return EvaluateCtx(context.Background(), det, benchName, train, test, opt)
+}
+
+// EvaluateCtx is Evaluate with trace attribution: the run becomes an
+// "eval" span whose "fit", "score", and "verify" children decompose the
+// reported ODST terms directly — InferTime is the "score" span,
+// VerifyTime the "verify" span, with the per-clip pipeline spans nested
+// inside each.
+func EvaluateCtx(ctx context.Context, det Detector, benchName string, train, test []LabeledClip, opt EvalOptions) (Result, error) {
 	if len(train) == 0 || len(test) == 0 {
 		return Result{}, fmt.Errorf("core: evaluate %s/%s: empty split", det.Name(), benchName)
 	}
 	res := Result{Detector: det.Name(), Benchmark: benchName}
+	ectx, esp := trace.Start(ctx, "eval",
+		trace.A("detector", det.Name()), trace.A("benchmark", benchName))
+	defer esp.End()
 
 	fitSet := AugmentMinority(train, opt.Augment)
 	t0 := time.Now()
-	if err := det.Fit(fitSet); err != nil {
+	_, fitSp := trace.Start(ectx, "fit")
+	fitSp.SetAttrInt("samples", len(fitSet))
+	err := det.Fit(fitSet)
+	fitSp.SetError(err)
+	fitSp.End()
+	if err != nil {
 		return Result{}, fmt.Errorf("core: fit %s on %s: %w", det.Name(), benchName, err)
 	}
 	res.TrainTime = time.Since(t0)
@@ -87,9 +106,13 @@ func Evaluate(det Detector, benchName string, train, test []LabeledClip, opt Eva
 	res.Labels = make([]int, len(test))
 	flagged := make([]bool, len(test))
 	t1 := time.Now()
+	sctx, scoreSp := trace.Start(ectx, "score")
+	scoreSp.SetAttrInt("samples", len(test))
 	for i, s := range test {
-		score, err := det.Score(s.Clip)
+		score, err := ScoreClipCtx(sctx, det, s.Clip)
 		if err != nil {
+			scoreSp.SetError(err)
+			scoreSp.End()
 			return Result{}, fmt.Errorf("core: score %s sample %d: %w", det.Name(), i, err)
 		}
 		res.Scores[i] = score
@@ -98,6 +121,7 @@ func Evaluate(det Detector, benchName string, train, test []LabeledClip, opt Eva
 		}
 		flagged[i] = score >= det.Threshold()
 	}
+	scoreSp.End()
 	res.InferTime = time.Since(t1)
 	for i, s := range test {
 		res.Confusion.Add(flagged[i], s.Hotspot)
@@ -110,15 +134,20 @@ func Evaluate(det Detector, benchName string, train, test []LabeledClip, opt Eva
 	if opt.Sim != nil {
 		nFlagged := 0
 		t2 := time.Now()
+		vctx, verifySp := trace.Start(ectx, "verify")
 		for i, s := range test {
 			if !flagged[i] {
 				continue
 			}
 			nFlagged++
-			if _, err := opt.Sim.Simulate(s.Clip); err != nil {
+			if _, err := opt.Sim.SimulateCtx(vctx, s.Clip); err != nil {
+				verifySp.SetError(err)
+				verifySp.End()
 				return Result{}, fmt.Errorf("core: verify sample %d: %w", i, err)
 			}
 		}
+		verifySp.SetAttrInt("flagged", nFlagged)
+		verifySp.End()
 		res.VerifyTime = time.Since(t2)
 		if nFlagged > 0 {
 			perClip := res.VerifyTime / time.Duration(nFlagged)

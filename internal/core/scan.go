@@ -13,6 +13,7 @@ import (
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/telemetry"
+	"github.com/golitho/hsd/internal/trace"
 )
 
 // ScanScoreSite is the faultinject hook name fired before each window
@@ -246,6 +247,11 @@ func ScanCtx(ctx context.Context, chip *layout.Layout, det Detector, cfg ScanCon
 	findings := make([]*Finding, len(centers))
 	errs := make([]error, len(centers))
 	processed := make([]atomic.Bool, len(centers))
+	// Resolve the tracer once: with tracing off, the per-window loop must
+	// not pay even the context lookups (the scan hot path is the
+	// zero-cost-when-disabled acceptance surface; see
+	// BenchmarkScanTracedVsUntraced).
+	traced := !trace.Disabled(ctx)
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < cfg.Workers; w++ {
@@ -268,7 +274,13 @@ func ScanCtx(ctx context.Context, chip *layout.Layout, det Detector, cfg ScanCon
 					i = j
 				}
 				jobStart := time.Now()
+				wctx, wsp := ctx, (*trace.Span)(nil)
+				if traced {
+					wctx, wsp = trace.Start(ctx, "scan.window")
+					wsp.SetAttrInt("index", i)
+				}
 				done := func() {
+					wsp.End()
 					processed[i].Store(true)
 					busyNanos.Add(int64(time.Since(jobStart)))
 					report()
@@ -276,26 +288,30 @@ func ScanCtx(ctx context.Context, chip *layout.Layout, det Detector, cfg ScanCon
 				clip, err := chip.ClipAt(centers[i], cfg.ClipNM, cfg.CoreFrac)
 				if err != nil {
 					errs[i] = err
+					wsp.SetError(err)
 					mets.window(0, false, false, false, true)
 					done()
 					continue
 				}
 				if cfg.SkipEmpty && len(clip.Shapes) == 0 {
+					wsp.SetAttr("skipped", "empty")
 					mets.window(0, false, true, false, false)
 					done()
 					continue
 				}
 				if err := faultinject.Hit(ScanScoreSite); err != nil {
 					errs[i] = err
+					wsp.SetError(err)
 					mets.window(0, false, false, false, true)
 					done()
 					continue
 				}
 				scoreStart := time.Now()
-				score, err := d.Score(clip)
+				score, err := ScoreClipCtx(wctx, d, clip)
 				scoreTime := time.Since(scoreStart)
 				if err != nil {
 					errs[i] = err
+					wsp.SetError(err)
 					mets.window(0, false, false, false, true)
 					done()
 					continue
@@ -303,6 +319,7 @@ func ScanCtx(ctx context.Context, chip *layout.Layout, det Detector, cfg ScanCon
 				flagged := score >= d.Threshold()
 				if flagged {
 					findings[i] = &Finding{Center: centers[i], Score: score}
+					wsp.SetAttr("flagged", "true")
 				}
 				mets.window(scoreTime, true, false, flagged, false)
 				done()

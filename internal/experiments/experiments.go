@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -102,11 +103,19 @@ type DetectorResults struct {
 // RunZoo evaluates the given detector specs across the whole suite,
 // returning results grouped by spec. Sim enables ODST measurement.
 func RunZoo(suite *hsd.Suite, specs []hsd.DetectorSpec, sim *hsd.Simulator) ([]DetectorResults, error) {
+	return RunZooCtx(context.Background(), suite, specs, sim)
+}
+
+// RunZooCtx is RunZoo with trace attribution: each evaluation becomes
+// an "eval" span (with fit/score/verify children) on the ctx tracer, so
+// a -trace run of hsdeval attributes ODST to pipeline stages per
+// detector and benchmark.
+func RunZooCtx(ctx context.Context, suite *hsd.Suite, specs []hsd.DetectorSpec, sim *hsd.Simulator) ([]DetectorResults, error) {
 	out := make([]DetectorResults, 0, len(specs))
 	for _, spec := range specs {
 		dr := DetectorResults{Spec: spec}
 		for _, b := range suite.Benchmarks {
-			res, err := hsd.Evaluate(spec.New(), b.Name,
+			res, err := hsd.EvaluateCtx(ctx, spec.New(), b.Name,
 				hsd.FromSamples(b.Train.Samples), hsd.FromSamples(b.Test.Samples),
 				hsd.EvalOptions{Sim: sim, Augment: spec.Augment})
 			if err != nil {

@@ -14,6 +14,7 @@
 package features
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,6 +22,7 @@ import (
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/raster"
+	"github.com/golitho/hsd/internal/trace"
 )
 
 // Extractor turns a layout clip into a fixed-length feature vector.
@@ -33,9 +35,38 @@ type Extractor interface {
 	Extract(clip layout.Clip) ([]float64, error)
 }
 
+// CtxExtractor is implemented by extractors that attribute their work
+// to trace spans: a "raster" span for clip rasterization and a
+// "features" span for the transform that follows.
+type CtxExtractor interface {
+	Extractor
+	// ExtractCtx computes the features of one clip, emitting stage
+	// spans on the context's trace.
+	ExtractCtx(ctx context.Context, clip layout.Clip) ([]float64, error)
+}
+
+// ExtractCtx extracts features with span attribution when ex supports
+// it, falling back to plain Extract otherwise.
+func ExtractCtx(ctx context.Context, ex Extractor, clip layout.Clip) ([]float64, error) {
+	if cx, ok := ex.(CtxExtractor); ok {
+		return cx.ExtractCtx(ctx, clip)
+	}
+	return ex.Extract(clip)
+}
+
 // rasterize renders a clip at the given pixel pitch.
 func rasterize(clip layout.Clip, pixelNM int) (*raster.Image, error) {
 	return raster.Rasterize(raster.Config{Window: clip.Window, PixelNM: pixelNM}, clip.Shapes)
+}
+
+// rasterizeCtx renders a clip under a "raster" span so rasterization
+// cost is attributed separately from the feature transform.
+func rasterizeCtx(ctx context.Context, name string, clip layout.Clip, pixelNM int) (*raster.Image, error) {
+	_, sp := trace.Start(ctx, "raster", trace.A("extractor", name))
+	im, err := rasterize(clip, pixelNM)
+	sp.SetError(err)
+	sp.End()
+	return im, err
 }
 
 // Density is the density-grid extractor: the clip is divided into
@@ -47,7 +78,7 @@ type Density struct {
 	PixelNM int
 }
 
-var _ Extractor = (*Density)(nil)
+var _ CtxExtractor = (*Density)(nil)
 
 // Name implements Extractor.
 func (d *Density) Name() string { return fmt.Sprintf("density%d", d.Grid) }
@@ -57,6 +88,11 @@ func (d *Density) Dim() int { return d.Grid * d.Grid }
 
 // Extract implements Extractor.
 func (d *Density) Extract(clip layout.Clip) ([]float64, error) {
+	return d.ExtractCtx(context.Background(), clip)
+}
+
+// ExtractCtx implements CtxExtractor.
+func (d *Density) ExtractCtx(ctx context.Context, clip layout.Clip) ([]float64, error) {
 	if d.Grid <= 0 {
 		return nil, fmt.Errorf("features: density grid must be positive, got %d", d.Grid)
 	}
@@ -64,10 +100,12 @@ func (d *Density) Extract(clip layout.Clip) ([]float64, error) {
 	if px <= 0 {
 		px = 8
 	}
-	im, err := rasterize(clip, px)
+	im, err := rasterizeCtx(ctx, d.Name(), clip, px)
 	if err != nil {
 		return nil, fmt.Errorf("features: density: %w", err)
 	}
+	_, sp := trace.Start(ctx, "features", trace.A("extractor", d.Name()))
+	defer sp.End()
 	if im.W%d.Grid != 0 || im.H%d.Grid != 0 {
 		return nil, fmt.Errorf("features: image %dx%d not divisible into %d cells",
 			im.W, im.H, d.Grid)
@@ -101,7 +139,7 @@ type CCAS struct {
 	PixelNM int
 }
 
-var _ Extractor = (*CCAS)(nil)
+var _ CtxExtractor = (*CCAS)(nil)
 
 // Name implements Extractor.
 func (c *CCAS) Name() string { return fmt.Sprintf("ccas%dx%d", c.Rings, c.Sectors) }
@@ -111,6 +149,11 @@ func (c *CCAS) Dim() int { return c.Rings * c.Sectors }
 
 // Extract implements Extractor.
 func (c *CCAS) Extract(clip layout.Clip) ([]float64, error) {
+	return c.ExtractCtx(context.Background(), clip)
+}
+
+// ExtractCtx implements CtxExtractor.
+func (c *CCAS) ExtractCtx(ctx context.Context, clip layout.Clip) ([]float64, error) {
 	if c.Rings <= 0 || c.Sectors <= 0 {
 		return nil, fmt.Errorf("features: ccas needs positive rings/sectors, got %d/%d", c.Rings, c.Sectors)
 	}
@@ -118,10 +161,12 @@ func (c *CCAS) Extract(clip layout.Clip) ([]float64, error) {
 	if px <= 0 {
 		px = 8
 	}
-	im, err := rasterize(clip, px)
+	im, err := rasterizeCtx(ctx, c.Name(), clip, px)
 	if err != nil {
 		return nil, fmt.Errorf("features: ccas: %w", err)
 	}
+	_, sp := trace.Start(ctx, "features", trace.A("extractor", c.Name()))
+	defer sp.End()
 	cx, cy := float64(im.W)/2, float64(im.H)/2
 	maxR := math.Min(cx, cy)
 	sums := make([]float64, c.Rings*c.Sectors)
@@ -172,7 +217,7 @@ type DCT struct {
 	PixelNM int
 }
 
-var _ Extractor = (*DCT)(nil)
+var _ CtxExtractor = (*DCT)(nil)
 
 // Name implements Extractor.
 func (d *DCT) Name() string { return fmt.Sprintf("dct%dx%dx%d", d.Blocks, d.Blocks, d.Coefs) }
@@ -186,6 +231,11 @@ func (d *DCT) TensorShape() (c, h, w int) { return d.Coefs, d.Blocks, d.Blocks }
 
 // Extract implements Extractor.
 func (d *DCT) Extract(clip layout.Clip) ([]float64, error) {
+	return d.ExtractCtx(context.Background(), clip)
+}
+
+// ExtractCtx implements CtxExtractor.
+func (d *DCT) ExtractCtx(ctx context.Context, clip layout.Clip) ([]float64, error) {
 	if d.Blocks <= 0 || d.Coefs <= 0 {
 		return nil, fmt.Errorf("features: dct needs positive blocks/coefs, got %d/%d", d.Blocks, d.Coefs)
 	}
@@ -193,10 +243,12 @@ func (d *DCT) Extract(clip layout.Clip) ([]float64, error) {
 	if px <= 0 {
 		px = 8
 	}
-	im, err := rasterize(clip, px)
+	im, err := rasterizeCtx(ctx, d.Name(), clip, px)
 	if err != nil {
 		return nil, fmt.Errorf("features: dct: %w", err)
 	}
+	_, sp := trace.Start(ctx, "features", trace.A("extractor", d.Name()))
+	defer sp.End()
 	if im.W != im.H || im.W%d.Blocks != 0 {
 		return nil, fmt.Errorf("features: image %dx%d not divisible into %d blocks", im.W, im.H, d.Blocks)
 	}

@@ -9,6 +9,7 @@ import (
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/raster"
+	"github.com/golitho/hsd/internal/trace"
 )
 
 // SimulateSite is the faultinject hook name fired at the start of each
@@ -40,11 +41,17 @@ func (s *Simulator) SimulateCtx(ctx context.Context, clip layout.Clip) (Result, 
 	// Only clips that reach the optical model count toward measured ODST;
 	// validation failures and trivially empty clips cost nothing.
 	start := time.Now()
+	sctx, ssp := trace.Start(ctx, "lithosim.simulate")
+	ssp.SetAttrInt("corners", len(s.cfg.Corners))
+	defer ssp.End()
 	defer func() {
 		s.simCount.Add(1)
 		s.simNanos.Add(int64(time.Since(start)))
 	}()
+	_, rsp := trace.Start(sctx, "raster", trace.A("stage", "mask"))
 	mask, err := raster.Rasterize(raster.Config{Window: clip.Window, PixelNM: s.cfg.PixelNM}, clip.Shapes)
+	rsp.SetError(err)
+	rsp.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("lithosim: rasterize clip: %w", err)
 	}
@@ -53,7 +60,7 @@ func (s *Simulator) SimulateCtx(ctx context.Context, clip layout.Clip) (Result, 
 	// corner's geometric checks.
 	target := mask.Threshold(0.5)
 	if w := s.cornerWorkers(); w > 1 {
-		return s.simulateParallel(ctx, clip, mask, target, w)
+		return s.simulateParallel(sctx, clip, mask, target, w)
 	}
 
 	// Aerial images are shared between corners with equal sigma.
@@ -63,15 +70,21 @@ func (s *Simulator) SimulateCtx(ctx context.Context, clip layout.Clip) (Result, 
 
 	for i, corner := range s.cfg.Corners {
 		if err := ctx.Err(); err != nil {
-			return Result{}, fmt.Errorf("lithosim: simulation interrupted at corner %q: %w", corner.Name, err)
+			err = fmt.Errorf("lithosim: simulation interrupted at corner %q: %w", corner.Name, err)
+			ssp.SetError(err)
+			return Result{}, err
 		}
+		_, csp := trace.Start(sctx, "corner", trace.A("corner", corner.Name))
 		aer := aerialBySigma[corner.SigmaScale]
 		if aer == nil {
 			aer = blurSeparable(mask, s.kernels[i])
 			aerialBySigma[corner.SigmaScale] = aer
 		}
 		printed := aer.Threshold(s.cfg.Threshold * corner.ThresholdScale)
-		res.Defects = append(res.Defects, s.checkCorner(clip, target, printed, corner.Name)...)
+		cornerDefects := s.checkCorner(clip, target, printed, corner.Name)
+		csp.SetAttrInt("defects", len(cornerDefects))
+		csp.End()
+		res.Defects = append(res.Defects, cornerDefects...)
 
 		if pvOr == nil {
 			pvOr = clonemask(printed)

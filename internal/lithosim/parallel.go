@@ -13,10 +13,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/raster"
+	"github.com/golitho/hsd/internal/trace"
 )
 
 // cornerWorkers resolves the configured worker count: 0 means
@@ -104,7 +106,10 @@ func (s *Simulator) simulateParallel(ctx context.Context, clip layout.Clip, mask
 			errs[ki] = err
 			return
 		}
+		_, bsp := trace.Start(ctx, "blur",
+			trace.A("sigma", strconv.FormatFloat(sigmas[j], 'g', -1, 64)))
 		aerials[j] = blurSeparable(mask, s.kernels[ki])
+		bsp.End()
 	})
 	if err := firstErr(errs); err != nil {
 		return Result{}, err
@@ -124,9 +129,12 @@ func (s *Simulator) simulateParallel(ctx context.Context, clip layout.Clip, mask
 			return
 		}
 		corner := corners[i]
+		_, csp := trace.Start(ctx, "corner", trace.A("corner", corner.Name))
 		p := aerialBySigma[corner.SigmaScale].Threshold(s.cfg.Threshold * corner.ThresholdScale)
 		printed[i] = p
 		defects[i] = s.checkCorner(clip, target, p, corner.Name)
+		csp.SetAttrInt("defects", len(defects[i]))
+		csp.End()
 	})
 	if err := firstErr(errs); err != nil {
 		return Result{}, err

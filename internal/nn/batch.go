@@ -13,12 +13,14 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
 
 	"github.com/golitho/hsd/internal/tensor"
+	"github.com/golitho/hsd/internal/trace"
 )
 
 // inferencer is the optional allocation-free inference path of a layer:
@@ -63,6 +65,16 @@ const predictChunk = 32
 // Output is deterministic: identical inputs yield bit-identical scores
 // for any worker count, and identical to the serial Score path.
 func PredictBatch(net *Network, x [][]float64, workers int) ([]float64, error) {
+	return PredictBatchCtx(context.Background(), net, x, workers)
+}
+
+// PredictBatchCtx is PredictBatch with trace attribution: the whole
+// pass runs under an "nn.batch" span, and each micro-batch emits an
+// "nn.arena" span (scratch reset + input staging) and an "nn.matmul"
+// span (the layer forward passes + softmax). Concurrent chunk spans
+// parent to the batch span and render as parallel lanes in the Chrome
+// export. With tracing disabled the added cost is nil-span no-ops.
+func PredictBatchCtx(ctx context.Context, net *Network, x [][]float64, workers int) ([]float64, error) {
 	if len(x) == 0 {
 		return nil, nil
 	}
@@ -82,16 +94,25 @@ func PredictBatch(net *Network, x [][]float64, workers int) ([]float64, error) {
 	if workers > nchunks {
 		workers = nchunks
 	}
+	bctx, bsp := trace.Start(ctx, "nn.batch")
+	bsp.SetAttrInt("samples", len(x))
+	bsp.SetAttrInt("workers", workers)
+	defer bsp.End()
 	out := make([]float64, len(x))
 	scoreChunk := func(ar *Arena, start int) {
 		end := min(start+predictChunk, len(x))
+		_, asp := trace.Start(bctx, "nn.arena")
 		ar.Reset()
 		xb := ar.get(end-start, dim)
 		for i := start; i < end; i++ {
 			copy(xb.Row(i-start), x[i])
 		}
+		asp.End()
+		_, msp := trace.Start(bctx, "nn.matmul")
+		msp.SetAttrInt("rows", end-start)
 		logits := net.ForwardBatch(xb, ar)
 		logits.SoftmaxRows()
+		msp.End()
 		for i := 0; i < logits.Rows; i++ {
 			out[start+i] = logits.At(i, 1)
 		}

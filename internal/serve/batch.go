@@ -22,6 +22,7 @@ import (
 	"github.com/golitho/hsd/internal/faultinject"
 	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/resilience"
+	"github.com/golitho/hsd/internal/trace"
 )
 
 // batchResult is one request's outcome, delivered on its done channel.
@@ -76,6 +77,13 @@ func (b *batcher) submit(ctx context.Context, clip layout.Clip) (ScoreResponse, 
 	}
 	b.mu.Unlock()
 
+	if sp := trace.FromContext(ctx); sp != nil {
+		if leader {
+			sp.AddEvent("batch-leader")
+		} else {
+			sp.AddEvent("batch-follower")
+		}
+	}
 	if leader {
 		select {
 		case <-pb.full:
@@ -85,7 +93,7 @@ func (b *batcher) submit(ctx context.Context, clip layout.Clip) (ScoreResponse, 
 			// A cancelled leader still owes its followers a flush.
 			b.detach(pb)
 		}
-		b.flush(pb)
+		b.flush(ctx, pb)
 	}
 	select {
 	case res := <-item.done:
@@ -107,8 +115,10 @@ func (b *batcher) detach(pb *pendingBatch) {
 
 // flush scores a detached batch and delivers per-item results. Items
 // whose context is already done are answered with that error and
-// excluded from the scoring pass.
-func (b *batcher) flush(pb *pendingBatch) {
+// excluded from the scoring pass. The pass runs under a "batch.flush"
+// span on the leader's trace; follower traces record their membership
+// via the batch-follower event instead.
+func (b *batcher) flush(ctx context.Context, pb *pendingBatch) {
 	live := make([]*batchItem, 0, len(pb.items))
 	for _, it := range pb.items {
 		if err := it.ctx.Err(); err != nil {
@@ -120,10 +130,13 @@ func (b *batcher) flush(pb *pendingBatch) {
 	if len(live) == 0 {
 		return
 	}
+	fctx, fsp := trace.Start(ctx, "batch.flush")
+	fsp.SetAttrInt("size", len(live))
 	b.srv.batchSize.Observe(float64(len(live)))
 	start := b.clock.Now()
-	b.srv.batchCascade(live)
+	b.srv.batchCascade(fctx, live)
 	b.srv.batchLatency.ObserveDuration(b.clock.Now().Sub(start))
+	fsp.End()
 }
 
 // batchCascade is the /score degradation ladder applied to a whole
@@ -131,7 +144,7 @@ func (b *batcher) flush(pb *pendingBatch) {
 // then per-item fallback. One primary failure degrades every request in
 // the batch — the requests shared the failed pass — but never 5xxes
 // them while a fallback exists.
-func (s *Server) batchCascade(items []*batchItem) {
+func (s *Server) batchCascade(ctx context.Context, items []*batchItem) {
 	clips := make([]layout.Clip, len(items))
 	for i, it := range items {
 		clips[i] = it.clip
@@ -140,7 +153,10 @@ func (s *Server) batchCascade(items []*batchItem) {
 	reason := ""
 	if s.breaker.Allow() {
 		var scores []float64
-		scores, primaryErr = s.scoreBatchPrimary(clips)
+		pctx, psp := trace.Start(ctx, "primary", trace.A("detector", s.primary.det.Name()))
+		scores, primaryErr = s.scoreBatchPrimary(pctx, clips)
+		psp.SetError(primaryErr)
+		psp.End()
 		s.breaker.Record(primaryErr)
 		if primaryErr == nil {
 			name, thr := s.primary.det.Name(), s.primary.det.Threshold()
@@ -157,6 +173,15 @@ func (s *Server) batchCascade(items []*batchItem) {
 	} else {
 		primaryErr = resilience.ErrOpen
 		reason = "breaker-open"
+		trace.FromContext(ctx).AddEvent("breaker-open")
+	}
+	// The whole batch degrades together: mark every member's own trace,
+	// not just the leader's, so each request's record explains itself.
+	for _, it := range items {
+		if sp := trace.FromContext(it.ctx); sp != nil {
+			sp.AddEvent("degrade", trace.A("reason", reason))
+			sp.SetFlag(trace.FlagDegraded)
+		}
 	}
 	if s.fallback == nil {
 		for _, it := range items {
@@ -165,8 +190,10 @@ func (s *Server) batchCascade(items []*batchItem) {
 		return
 	}
 	name, thr := s.fallback.det.Name(), s.fallback.det.Threshold()
+	fctx, fsp := trace.Start(ctx, "fallback", trace.A("detector", name))
+	defer fsp.End()
 	for _, it := range items {
-		score, err := s.fallback.score(it.clip)
+		score, err := s.fallback.score(fctx, it.clip)
 		if err != nil {
 			it.done <- batchResult{err: fmt.Errorf("fallback (after primary %s): %w", reason, err)}
 			continue
@@ -181,10 +208,11 @@ func (s *Server) batchCascade(items []*batchItem) {
 }
 
 // scoreBatchPrimary runs the primary detector's batch path under a
-// fresh deadline budget (the batch outlives any single request context),
-// converting panics to errors exactly like scorePrimary.
-func (s *Server) scoreBatchPrimary(clips []layout.Clip) ([]float64, error) {
-	ctx, cancel := resilience.WithBudget(context.Background(), s.opts.DeadlineBudget)
+// fresh deadline budget (the batch outlives any single request context,
+// so only the parent's values — the trace span — survive, not its
+// cancellation), converting panics to errors exactly like scorePrimary.
+func (s *Server) scoreBatchPrimary(parent context.Context, clips []layout.Clip) ([]float64, error) {
+	ctx, cancel := resilience.WithBudget(context.WithoutCancel(parent), s.opts.DeadlineBudget)
 	defer cancel()
 	type outcome struct {
 		scores []float64
@@ -202,7 +230,7 @@ func (s *Server) scoreBatchPrimary(clips []layout.Clip) ([]float64, error) {
 			ch <- outcome{nil, err}
 			return
 		}
-		scores, err := s.primary.scoreBatch(clips)
+		scores, err := s.primary.scoreBatch(ctx, clips)
 		ch <- outcome{scores, err}
 	}()
 	select {
@@ -216,16 +244,16 @@ func (s *Server) scoreBatchPrimary(clips []layout.Clip) ([]float64, error) {
 // scoreBatch scores clips through the detector's vectorized path when
 // it has one (core.BatchScorer is concurrent-safe by contract) and the
 // serialized clone path otherwise.
-func (s *scorer) scoreBatch(clips []layout.Clip) ([]float64, error) {
-	if bs, ok := s.det.(core.BatchScorer); ok {
-		return bs.ScoreBatch(clips)
+func (s *scorer) scoreBatch(ctx context.Context, clips []layout.Clip) ([]float64, error) {
+	if _, ok := s.det.(core.BatchScorer); ok {
+		return core.ScoreClipsCtx(ctx, s.det, clips)
 	}
 	if s.clone != nil {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return core.ScoreClips(s.clone, clips)
+		return core.ScoreClipsCtx(ctx, s.clone, clips)
 	}
-	return core.ScoreClips(s.det, clips)
+	return core.ScoreClipsCtx(ctx, s.det, clips)
 }
 
 // handleBatch is POST /batch: one clip per request, scored through the
@@ -235,7 +263,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	if !s.admit(w) {
+	if !s.admit(w, r) {
 		return
 	}
 	clip, err := s.readClip(w, r)

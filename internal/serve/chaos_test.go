@@ -425,3 +425,106 @@ func TestChaosVerifyFault(t *testing.T) {
 		t.Fatalf("post-chaos verify status = %d, want 200", resp2.StatusCode)
 	}
 }
+
+// TestReadyzStateMatrix pins the full /readyz contract across all three
+// states, driving the breaker through forced transitions on a fake
+// clock. With a fallback configured the posture walks ready -> degraded
+// -> ready; without one the open breaker reports unavailable with 503.
+func TestReadyzStateMatrix(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	readyz := func(t *testing.T, url string) (int, ReadyResponse) {
+		t.Helper()
+		resp, err := http.Get(url + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out ReadyResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+	trip := func(t *testing.T, url string, n int) {
+		t.Helper()
+		faultinject.Set(PrimarySite, faultinject.Fault{Err: fmt.Errorf("chaos error"), Count: n})
+		for i := 0; i < n; i++ {
+			resp, _ := postScore(t, url)
+			resp.Body.Close()
+		}
+	}
+
+	t.Run("with-fallback", func(t *testing.T) {
+		faultinject.Reset()
+		t.Cleanup(faultinject.Reset)
+		clk := resilience.NewFakeClock(time.Unix(0, 0))
+		s, err := NewServer(Options{
+			Primary:  thresholdDetector{},
+			Fallback: fallbackDetector{},
+			Breaker:  resilience.BreakerConfig{FailureThreshold: 2, OpenTimeout: 10 * time.Second},
+			Clock:    clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+
+		if code, r := readyz(t, ts.URL); code != http.StatusOK || r.Status != "ready" || r.Breaker != "closed" {
+			t.Fatalf("initial: code=%d %+v, want 200 ready/closed", code, r)
+		}
+		trip(t, ts.URL, 2)
+		if code, r := readyz(t, ts.URL); code != http.StatusOK || r.Status != "degraded" || r.Breaker != "open" {
+			t.Fatalf("tripped: code=%d %+v, want 200 degraded/open", code, r)
+		}
+		// Degraded still answers 200 so load balancers keep routing to
+		// the fallback; only unavailable drops to 503.
+		clk.Advance(11 * time.Second)
+		if resp, out := postScore(t, ts.URL); out.Degraded {
+			resp.Body.Close()
+			t.Fatalf("half-open probe degraded: %+v", out)
+		}
+		if code, r := readyz(t, ts.URL); code != http.StatusOK || r.Status != "ready" || r.Breaker != "closed" {
+			t.Fatalf("recovered: code=%d %+v, want 200 ready/closed", code, r)
+		}
+	})
+
+	t.Run("no-fallback", func(t *testing.T) {
+		faultinject.Reset()
+		t.Cleanup(faultinject.Reset)
+		clk := resilience.NewFakeClock(time.Unix(0, 0))
+		s, err := NewServer(Options{
+			Primary: thresholdDetector{},
+			Breaker: resilience.BreakerConfig{FailureThreshold: 2, OpenTimeout: 10 * time.Second},
+			Clock:   clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+
+		if code, r := readyz(t, ts.URL); code != http.StatusOK || r.Status != "ready" {
+			t.Fatalf("initial: code=%d %+v, want 200 ready", code, r)
+		}
+		trip(t, ts.URL, 2)
+		code, r := readyz(t, ts.URL)
+		if code != http.StatusServiceUnavailable || r.Status != "unavailable" || r.Breaker != "open" {
+			t.Fatalf("tripped: code=%d %+v, want 503 unavailable/open", code, r)
+		}
+		if r.Fallback != "" {
+			t.Fatalf("no-fallback server advertises fallback %q", r.Fallback)
+		}
+		// Recovery works without a fallback too: cool-down, successful
+		// probe, ready again.
+		clk.Advance(11 * time.Second)
+		if resp, _ := postScore(t, ts.URL); resp.StatusCode != http.StatusOK {
+			t.Fatalf("probe status = %d, want 200", resp.StatusCode)
+		}
+		if code, r := readyz(t, ts.URL); code != http.StatusOK || r.Status != "ready" || r.Breaker != "closed" {
+			t.Fatalf("recovered: code=%d %+v, want 200 ready/closed", code, r)
+		}
+	})
+}

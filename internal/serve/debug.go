@@ -1,0 +1,114 @@
+// Debug surfaces: retained-trace inspection and profiling.
+//
+// GET /debug/traces        -> JSON list of retained traces (?limit=N),
+//                             or one full trace with ?id=<hex trace id>
+// GET /debug/traces/chrome -> the same traces in Chrome trace_event
+//                             format, loadable in about:tracing and
+//                             https://ui.perfetto.dev (?limit=N, ?id=)
+//
+// The trace endpoints are registered on the main handler when tracing
+// is enabled. DebugMux additionally wires net/http/pprof; it is meant
+// for a separate, non-public listener (hsdserve -debug-addr), since
+// profiles and traces expose internals no tenant should see.
+
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"github.com/golitho/hsd/internal/trace"
+)
+
+// tracesResponse is the GET /debug/traces list reply.
+type tracesResponse struct {
+	// Enabled is false when the tracer was toggled off at runtime.
+	Enabled bool `json:"enabled"`
+	// Kept and SampledOut are cumulative tail-sampling counters.
+	Kept       int64 `json:"kept"`
+	SampledOut int64 `json:"sampledOut"`
+	// Traces are the retained traces, most recent first.
+	Traces []*trace.TraceRecord `json:"traces"`
+}
+
+// debugTraces resolves the traces selected by the request query:
+// ?id=<hex> for a single trace, else the most recent ?limit= (default
+// 64, 0 = all). It writes the error response itself when returning nil
+// with ok=false.
+func (s *Server) debugTraces(w http.ResponseWriter, r *http.Request) ([]*trace.TraceRecord, bool) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	if s.tracer == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return nil, false
+	}
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		id, err := trace.ParseTraceID(idStr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return nil, false
+		}
+		rec := s.tracer.Get(id)
+		if rec == nil {
+			http.Error(w, "trace not found (evicted or sampled out)", http.StatusNotFound)
+			return nil, false
+		}
+		return []*trace.TraceRecord{rec}, true
+	}
+	limit := 64
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+			return nil, false
+		}
+		limit = n
+	}
+	return s.tracer.Traces(limit), true
+}
+
+// handleTraces is GET /debug/traces.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces, ok := s.debugTraces(w, r)
+	if !ok {
+		return
+	}
+	st := s.tracer.Stats()
+	writeJSON(w, http.StatusOK, tracesResponse{
+		Enabled:    !s.tracer.Disabled(),
+		Kept:       st.Kept,
+		SampledOut: st.SampledOut,
+		Traces:     traces,
+	})
+}
+
+// handleTracesChrome is GET /debug/traces/chrome: the selected traces
+// as a Chrome trace_event JSON array.
+func (s *Server) handleTracesChrome(w http.ResponseWriter, r *http.Request) {
+	traces, ok := s.debugTraces(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="hsd-trace.json"`)
+	_ = trace.WriteChrome(w, traces)
+}
+
+// DebugMux returns the handler for a private debug listener: pprof
+// under /debug/pprof/ plus the trace endpoints. Profiling endpoints can
+// stall the process (heap dumps, CPU profiles), so they are never
+// mounted on the serving mux.
+func (s *Server) DebugMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/traces/chrome", s.handleTracesChrome)
+	return mux
+}

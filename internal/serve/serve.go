@@ -46,6 +46,7 @@ import (
 	"github.com/golitho/hsd/internal/lithosim"
 	"github.com/golitho/hsd/internal/resilience"
 	"github.com/golitho/hsd/internal/telemetry"
+	"github.com/golitho/hsd/internal/trace"
 )
 
 // maxBodyBytes bounds accepted request bodies (a clip is a few KiB).
@@ -93,6 +94,13 @@ type Options struct {
 	BatchMaxWait time.Duration
 	// Clock drives breaker and shedder timing (default the wall clock).
 	Clock resilience.Clock
+	// Trace, when non-nil, enables request tracing: every request runs
+	// under a root span whose children attribute time to pipeline stages,
+	// retained under the config's tail-sampling policy and served by
+	// GET /debug/traces. The config's Metrics registry defaults to the
+	// server's own (so hotspot_stage_seconds lands in /metrics) and its
+	// Clock defaults to Options.Clock.
+	Trace *trace.Config
 }
 
 // scorer wraps one detector, serializing access through a single clone
@@ -111,13 +119,13 @@ func newScorer(det core.Detector) *scorer {
 	return s
 }
 
-func (s *scorer) score(clip layout.Clip) (float64, error) {
+func (s *scorer) score(ctx context.Context, clip layout.Clip) (float64, error) {
 	if s.clone != nil {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return s.clone.Score(clip)
+		return core.ScoreClipCtx(ctx, s.clone, clip)
 	}
-	return s.det.Score(clip)
+	return core.ScoreClipCtx(ctx, s.det, clip)
 }
 
 // Server wires the detector cascade (and optionally the oracle) into an
@@ -133,6 +141,7 @@ type Server struct {
 	breaker *resilience.Breaker
 	shed    *resilience.Shedder // nil when shedding is disabled
 	batch   *batcher
+	tracer  *trace.Tracer // nil when tracing is disabled
 
 	reg          *telemetry.Registry
 	panics       *telemetry.Counter
@@ -177,6 +186,8 @@ func NewServer(opts Options) (*Server, error) {
 	reg.SetHelp("hotspot_primary_failures_total", "Primary detector failures (errors, panics, deadline overruns).")
 	reg.SetHelp("batch_size", "Requests coalesced per /batch scoring pass.")
 	reg.SetHelp("batch_latency_seconds", "Latency of one /batch scoring pass (flush to results).")
+	reg.SetHelp("hotspot_inflight_requests", "Requests in flight, counted before admission control so shed traffic is visible.")
+	telemetry.RegisterRuntimeMetrics(reg)
 
 	if opts.BatchMaxSize <= 0 {
 		opts.BatchMaxSize = 32
@@ -225,8 +236,21 @@ func NewServer(opts Options) (*Server, error) {
 			Rate: opts.ShedRate, Burst: opts.ShedBurst, Clock: opts.Clock,
 		})
 	}
+	if opts.Trace != nil {
+		tcfg := *opts.Trace
+		if tcfg.Clock == nil {
+			tcfg.Clock = opts.Clock
+		}
+		if tcfg.Metrics == nil {
+			tcfg.Metrics = reg
+		}
+		s.tracer = trace.New(tcfg)
+	}
 	return s, nil
 }
+
+// Tracer returns the request tracer, or nil when tracing is disabled.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Metrics returns the server's telemetry registry, for embedding the
 // serving metrics into a wider exposition or reading them in tests.
@@ -242,6 +266,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/batch", s.instrument("/batch", s.handleBatch))
 	mux.HandleFunc("/verify", s.instrument("/verify", s.handleVerify))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	if s.tracer != nil {
+		// Uninstrumented on purpose: trace inspection must not perturb
+		// the request metrics or generate traces of its own.
+		mux.HandleFunc("/debug/traces", s.handleTraces)
+		mux.HandleFunc("/debug/traces/chrome", s.handleTracesChrome)
+	}
 	return mux
 }
 
@@ -273,14 +303,26 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	errCount := s.reg.Counter("http_errors_total", telemetry.L("endpoint", endpoint))
 	latency := s.reg.Histogram("http_request_seconds", nil, telemetry.L("endpoint", endpoint))
 	inflight := s.reg.Gauge("http_inflight_requests")
+	// hotspot_inflight_requests is incremented before admission control
+	// runs (admit happens inside h), so a saturated server's shed traffic
+	// still registers as load.
+	hotspotInflight := s.reg.Gauge("hotspot_inflight_requests")
 
 	return func(w http.ResponseWriter, r *http.Request) {
 		inflight.Inc()
+		hotspotInflight.Inc()
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
+		ctx, root := trace.Start(trace.WithTracer(r.Context(), s.tracer),
+			"http "+endpoint, trace.A("method", r.Method))
+		if root != nil {
+			r = r.WithContext(ctx)
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				s.panics.Inc()
+				root.SetFlag(trace.FlagPanic)
+				root.AddEvent("panic", trace.A("value", fmt.Sprint(p)))
 				if rec.status == 0 {
 					http.Error(rec, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
 				}
@@ -293,7 +335,13 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			if rec.status >= 400 {
 				errCount.Inc()
 			}
+			root.SetAttrInt("status", rec.status)
+			if rec.status >= 500 {
+				root.SetFlag(trace.FlagError)
+			}
+			root.End()
 			inflight.Dec()
+			hotspotInflight.Dec()
 		}()
 		h(rec, r)
 	}
@@ -397,8 +445,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // admit applies load shedding before any request work is done. It
-// writes the 429 itself and returns false when the request is shed.
-func (s *Server) admit(w http.ResponseWriter) bool {
+// writes the 429 itself and returns false when the request is shed;
+// shed requests are flagged on their trace so the tail sampler always
+// retains them.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	if s.shed == nil {
 		return true
 	}
@@ -407,6 +457,10 @@ func (s *Server) admit(w http.ResponseWriter) bool {
 		return true
 	}
 	s.shedTotal.Inc()
+	if sp := trace.FromContext(r.Context()); sp != nil {
+		sp.AddEvent("shed", trace.A("retryAfter", retryAfter.String()))
+		sp.SetFlag(trace.FlagShed)
+	}
 	secs := int(retryAfter/time.Second) + 1
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	http.Error(w, "overloaded: request shed, see Retry-After", http.StatusTooManyRequests)
@@ -450,7 +504,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	if !s.admit(w) {
+	if !s.admit(w, r) {
 		return
 	}
 	clip, err := s.readClip(w, r)
@@ -486,13 +540,20 @@ func (s *Server) cascadeError(w http.ResponseWriter, err error) {
 
 // cascade scores the clip through the degradation ladder: primary
 // behind the breaker and deadline, then fallback. A degraded response
-// is a success; the returned error means nothing could answer.
+// is a success; the returned error means nothing could answer. Every
+// decision lands on the request trace: a "primary" span (with error),
+// "breaker-open" and "degrade" events, and the degraded flag that
+// makes the tail sampler retain the trace.
 func (s *Server) cascade(ctx context.Context, clip layout.Clip) (ScoreResponse, error) {
+	sp := trace.FromContext(ctx)
 	var primaryErr error
 	reason := ""
 	if s.breaker.Allow() {
 		var score float64
-		score, primaryErr = s.scorePrimary(ctx, clip)
+		pctx, psp := trace.Start(ctx, "primary", trace.A("detector", s.primary.det.Name()))
+		score, primaryErr = s.scorePrimary(pctx, clip)
+		psp.SetError(primaryErr)
+		psp.End()
 		s.breaker.Record(primaryErr)
 		if primaryErr == nil {
 			thr := s.primary.det.Threshold()
@@ -506,11 +567,17 @@ func (s *Server) cascade(ctx context.Context, clip layout.Clip) (ScoreResponse, 
 	} else {
 		primaryErr = resilience.ErrOpen
 		reason = "breaker-open"
+		sp.AddEvent("breaker-open")
 	}
 	if s.fallback == nil {
 		return ScoreResponse{}, primaryErr
 	}
-	score, err := s.fallback.score(clip)
+	sp.AddEvent("degrade", trace.A("reason", reason))
+	sp.SetFlag(trace.FlagDegraded)
+	fctx, fsp := trace.Start(ctx, "fallback", trace.A("detector", s.fallback.det.Name()))
+	score, err := s.fallback.score(fctx, clip)
+	fsp.SetError(err)
+	fsp.End()
 	if err != nil {
 		return ScoreResponse{}, fmt.Errorf("fallback (after primary %s): %w", reason, err)
 	}
@@ -567,7 +634,7 @@ func (s *Server) scorePrimary(ctx context.Context, clip layout.Clip) (float64, e
 			ch <- outcome{0, err}
 			return
 		}
-		score, err := s.primary.score(clip)
+		score, err := s.primary.score(ctx, clip)
 		ch <- outcome{score, err}
 	}()
 	select {
@@ -587,7 +654,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "verification disabled", http.StatusNotImplemented)
 		return
 	}
-	if !s.admit(w) {
+	if !s.admit(w, r) {
 		return
 	}
 	clip, err := s.readClip(w, r)

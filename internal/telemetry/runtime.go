@@ -1,0 +1,114 @@
+// Go runtime metrics as a pull-style collector: goroutine count, heap
+// size, GC pause distribution, and a build-info gauge. Registered via
+// OnCollect, so values refresh on every /metrics scrape with no
+// background goroutine to manage.
+
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// GCPauseBuckets covers stop-the-world pauses from microseconds to the
+// point where something is badly wrong.
+var GCPauseBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1,
+}
+
+// runtimeCollector feeds Go runtime stats into a registry.
+type runtimeCollector struct {
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	gcPause    *Histogram
+
+	// lastNumGC tracks how far into the PauseNs ring we have already
+	// observed, so each completed GC cycle is recorded exactly once.
+	lastNumGC uint32
+}
+
+// RegisterRuntimeMetrics attaches the Go runtime collector to reg:
+//
+//	go_goroutines          gauge   current goroutine count
+//	go_heap_alloc_bytes    gauge   live heap allocation
+//	go_gc_pause_seconds    histogram   stop-the-world pause per GC cycle
+//	hotspot_build_info     gauge   constant 1, labeled with go_version
+//	                               and vcs revision
+//
+// Values refresh on every scrape (Snapshot/WritePrometheus), not on a
+// timer. Registering twice on the same registry doubles the collection
+// work but keeps values correct, since the metric handles are shared;
+// callers should still register once.
+func RegisterRuntimeMetrics(reg *Registry) {
+	reg.SetHelp("go_goroutines", "Number of goroutines that currently exist.")
+	reg.SetHelp("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	reg.SetHelp("go_gc_pause_seconds", "Stop-the-world pause duration per completed GC cycle.")
+	reg.SetHelp("hotspot_build_info", "Build metadata; always 1. Labels carry the Go version and VCS revision.")
+
+	c := &runtimeCollector{
+		goroutines: reg.Gauge("go_goroutines"),
+		heapAlloc:  reg.Gauge("go_heap_alloc_bytes"),
+		gcPause:    reg.Histogram("go_gc_pause_seconds", GCPauseBuckets),
+	}
+	// Seed lastNumGC so pauses from before registration are not
+	// retroactively observed.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.lastNumGC = ms.NumGC
+
+	goVersion, revision := buildInfo()
+	reg.Gauge("hotspot_build_info",
+		Label{Key: "go_version", Value: goVersion},
+		Label{Key: "revision", Value: revision},
+	).Set(1)
+
+	reg.OnCollect(c.collect)
+}
+
+// collect refreshes the gauges and drains newly completed GC pauses
+// from the MemStats ring buffer.
+func (c *runtimeCollector) collect() {
+	c.goroutines.Set(float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.heapAlloc.Set(float64(ms.HeapAlloc))
+
+	// PauseNs is a ring of the last 256 pauses, indexed by cycle number.
+	// Observe the cycles completed since the previous scrape; if more
+	// than 256 elapsed, the overwritten ones are gone — record what the
+	// ring still holds.
+	newGCs := ms.NumGC - c.lastNumGC
+	if newGCs > uint32(len(ms.PauseNs)) {
+		newGCs = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < newGCs; i++ {
+		cycle := ms.NumGC - i
+		pause := ms.PauseNs[(cycle+255)%256]
+		c.gcPause.Observe(float64(pause) / 1e9)
+	}
+	c.lastNumGC = ms.NumGC
+}
+
+// buildInfo extracts the Go version and VCS revision from the binary's
+// embedded build information, with stable fallbacks for test binaries
+// and non-VCS builds.
+func buildInfo() (goVersion, revision string) {
+	goVersion = runtime.Version()
+	revision = "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return goVersion, revision
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			revision = s.Value
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+		}
+	}
+	return goVersion, revision
+}

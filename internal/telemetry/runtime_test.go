@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// findSeries returns the first snapshot series with the given name.
+func findSeries(snaps []SeriesSnapshot, name string) *SeriesSnapshot {
+	for i := range snaps {
+		if snaps[i].Name == name {
+			return &snaps[i]
+		}
+	}
+	return nil
+}
+
+func TestOnCollectRunsBeforeRead(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("refreshed")
+	calls := 0
+	reg.OnCollect(func() {
+		calls++
+		g.Set(float64(calls))
+	})
+
+	snaps := reg.Snapshot()
+	if s := findSeries(snaps, "refreshed"); s == nil || s.Value != 1 {
+		t.Fatalf("snapshot did not see collector value: %+v", s)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "refreshed 2") {
+		t.Fatalf("WritePrometheus did not refresh collector:\n%s", b.String())
+	}
+	if calls != 2 {
+		t.Fatalf("collector ran %d times, want 2", calls)
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+
+	// Force at least one GC cycle after registration so the pause
+	// histogram has something to drain.
+	runtime.GC()
+
+	snaps := reg.Snapshot()
+	if s := findSeries(snaps, "go_goroutines"); s == nil || s.Value < 1 {
+		t.Fatalf("go_goroutines = %+v, want >= 1", s)
+	}
+	if s := findSeries(snaps, "go_heap_alloc_bytes"); s == nil || s.Value <= 0 {
+		t.Fatalf("go_heap_alloc_bytes = %+v, want > 0", s)
+	}
+	if s := findSeries(snaps, "go_gc_pause_seconds"); s == nil {
+		t.Fatal("go_gc_pause_seconds missing")
+	} else if s.Histogram.Count < 1 {
+		t.Fatalf("go_gc_pause_seconds count = %d, want >= 1", s.Histogram.Count)
+	}
+	bi := findSeries(snaps, "hotspot_build_info")
+	if bi == nil || bi.Value != 1 {
+		t.Fatalf("hotspot_build_info = %+v, want value 1", bi)
+	}
+	labels := map[string]string{}
+	for _, l := range bi.Labels {
+		labels[l.Key] = l.Value
+	}
+	if labels["go_version"] == "" || labels["revision"] == "" {
+		t.Fatalf("hotspot_build_info labels incomplete: %v", bi.Labels)
+	}
+}
+
+func TestRuntimeGCPausesCountedOnce(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+
+	runtime.GC()
+	first := findSeries(reg.Snapshot(), "go_gc_pause_seconds").Histogram.Count
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	numGC := ms.NumGC
+	// Back-to-back scrapes: the count only grows if the runtime really
+	// completed more cycles in between (background GC can do that).
+	second := findSeries(reg.Snapshot(), "go_gc_pause_seconds").Histogram.Count
+	runtime.ReadMemStats(&ms)
+	if grew, cycles := second-first, int64(ms.NumGC-numGC); grew > cycles {
+		t.Fatalf("pause count grew by %d with only %d GC cycles", grew, cycles)
+	}
+	runtime.GC()
+	third := findSeries(reg.Snapshot(), "go_gc_pause_seconds").Histogram.Count
+	if third < second+1 {
+		t.Fatalf("one forced GC should add at least one pause: %d -> %d", second, third)
+	}
+}

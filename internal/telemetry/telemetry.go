@@ -198,6 +198,9 @@ type Registry struct {
 	order []*series         // registration order for stable rendering
 	help  map[string]string // metric name -> HELP text
 	kinds map[string]metricKind
+
+	collectMu sync.Mutex
+	collect   []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -214,6 +217,29 @@ func (r *Registry) SetHelp(name, help string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.help[name] = help
+}
+
+// OnCollect registers fn to run at the start of every Snapshot and
+// WritePrometheus call, before the registry is read. Collectors refresh
+// pull-style metrics (runtime stats, cache sizes) so scrapes always see
+// current values without a background poller. fn may use the registry's
+// metric constructors and setters but must not call Snapshot,
+// WritePrometheus, or OnCollect itself.
+func (r *Registry) OnCollect(fn func()) {
+	r.collectMu.Lock()
+	defer r.collectMu.Unlock()
+	r.collect = append(r.collect, fn)
+}
+
+// runCollectors invokes the OnCollect hooks in registration order. It
+// holds only collectMu, so hooks are free to touch metrics (which take
+// mu); concurrent scrapes serialize their collection passes here.
+func (r *Registry) runCollectors() {
+	r.collectMu.Lock()
+	defer r.collectMu.Unlock()
+	for _, fn := range r.collect {
+		fn()
+	}
 }
 
 func seriesKey(name string, labels []Label) string {
@@ -303,8 +329,10 @@ type SeriesSnapshot struct {
 	Histogram *HistogramSnapshot
 }
 
-// Snapshot returns every registered series in registration order.
+// Snapshot returns every registered series in registration order,
+// after refreshing any OnCollect collectors.
 func (r *Registry) Snapshot() []SeriesSnapshot {
+	r.runCollectors()
 	r.mu.Lock()
 	order := append([]*series(nil), r.order...)
 	r.mu.Unlock()
@@ -357,6 +385,7 @@ func labelString(labels []Label, extra ...Label) string {
 // registry: metrics appear in first-registration order, series sorted by
 // label string within a metric.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runCollectors()
 	r.mu.Lock()
 	order := append([]*series(nil), r.order...)
 	help := make(map[string]string, len(r.help))

@@ -1,0 +1,85 @@
+// Context plumbing: the tracer and the current span travel through
+// context.Context so instrumentation sites need no extra parameters.
+
+package trace
+
+import "context"
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// WithTracer returns a context from which Start creates root spans.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// FromContext returns the context's current span, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// Disabled reports whether tracing is off for this context: no current
+// span and no enabled tracer. The check is two context lookups and one
+// atomic load, with no allocations — instrumented hot paths may call it
+// every iteration.
+func Disabled(ctx context.Context) bool {
+	if FromContext(ctx) != nil {
+		return false
+	}
+	return TracerFrom(ctx).Disabled()
+}
+
+// Start begins a span named name: a child of the context's current span
+// when one exists, otherwise a new root trace on the context's tracer.
+// The returned context carries the new span for further nesting. When
+// tracing is disabled (no tracer, or tracer off) it returns ctx
+// unchanged and a nil span, at zero allocation cost.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if parent := FromContext(ctx); parent != nil {
+		if parent.tr.Disabled() {
+			return ctx, nil
+		}
+		s := &Span{
+			tr:       parent.tr,
+			data:     parent.data,
+			traceID:  parent.traceID,
+			id:       SpanID(parent.tr.newID()),
+			parentID: parent.id,
+			name:     name,
+			start:    parent.tr.now(),
+			attrs:    attrs,
+		}
+		return context.WithValue(ctx, spanKey, s), s
+	}
+	tr := TracerFrom(ctx)
+	if tr.Disabled() {
+		return ctx, nil
+	}
+	id := TraceID(tr.newID())
+	data := &traceData{tr: tr, id: id}
+	s := &Span{
+		tr:      tr,
+		data:    data,
+		traceID: id,
+		id:      SpanID(tr.newID()),
+		name:    name,
+		start:   tr.now(),
+		attrs:   attrs,
+	}
+	data.root = s.id
+	return context.WithValue(ctx, spanKey, s), s
+}

@@ -1,0 +1,94 @@
+// The trace store: a lock-sharded ring buffer of finished traces.
+//
+// Sharding by trace id keeps concurrent request completions from
+// contending on one mutex; the per-shard ring keeps memory strictly
+// bounded (Config.Capacity traces total) with oldest-first eviction.
+
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span, immutable once stored.
+type SpanRecord struct {
+	SpanID   string        `json:"spanId"`
+	ParentID string        `json:"parentId,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"durationNs"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Events   []Event       `json:"events,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// TraceRecord is one finished, retained trace.
+type TraceRecord struct {
+	TraceID string `json:"traceId"`
+	// Root is the root span's name, e.g. "http /score".
+	Root     string        `json:"root"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"durationNs"`
+	// Flags lists the tail-retention classes ("slow", "error",
+	// "degraded", "shed", "panic"); empty for probabilistically sampled
+	// normal traces.
+	Flags []string     `json:"flags,omitempty"`
+	Spans []SpanRecord `json:"spans"`
+}
+
+type storeShard struct {
+	mu   sync.Mutex
+	ring []*TraceRecord
+	next int // ring write cursor
+}
+
+func (t *Tracer) store(id uint64, rec *TraceRecord) {
+	sh := &t.shards[id&t.shardMask]
+	sh.mu.Lock()
+	sh.ring[sh.next] = rec
+	sh.next = (sh.next + 1) % len(sh.ring)
+	sh.mu.Unlock()
+}
+
+// Traces returns the retained traces, most recent first, up to limit
+// (limit <= 0 means all).
+func (t *Tracer) Traces(limit int) []*TraceRecord {
+	if t == nil {
+		return nil
+	}
+	var out []*TraceRecord
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, rec := range sh.ring {
+			if rec != nil {
+				out = append(out, rec)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Get returns the retained trace with the given id, or nil.
+func (t *Tracer) Get(id TraceID) *TraceRecord {
+	if t == nil {
+		return nil
+	}
+	sh := &t.shards[uint64(id)&t.shardMask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	want := id.String()
+	for _, rec := range sh.ring {
+		if rec != nil && rec.TraceID == want {
+			return rec
+		}
+	}
+	return nil
+}

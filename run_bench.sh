@@ -22,4 +22,17 @@ echo "$infer_out" | awk -v ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 		}
 		printf("{\"ts\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n", ts, name, ns, bytes, allocs)
 	}' >> BENCH_inference.json
+echo "# chunk E: tracing overhead (appends trajectory to BENCH_trace.json)" >> bench_output.txt
+trace_out=$(go test -timeout 60m -bench 'ScanTracedVsUntraced' -benchmem -run XXX ./internal/core/ 2>&1)
+echo "$trace_out" >> bench_output.txt
+echo "$trace_out" | awk -v ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+	/^Benchmark/ {
+		name = $1; ns = "null"; bytes = "null"; allocs = "null"
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "ns/op") ns = $i
+			if ($(i+1) == "B/op") bytes = $i
+			if ($(i+1) == "allocs/op") allocs = $i
+		}
+		printf("{\"ts\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n", ts, name, ns, bytes, allocs)
+	}' >> BENCH_trace.json
 echo "# done" >> bench_output.txt
