@@ -35,10 +35,18 @@ echo "== inference smoke =="
 # TestParallelInferenceSmoke for the reasoning).
 HSD_INFER_SMOKE=1 go test -run TestParallelInferenceSmoke .
 
+echo "== kill-resume chaos =="
+# Training is killed at several injected fault points and resumed from
+# the checkpoint; the resumed model must be byte-identical to the
+# uninterrupted run. -race because resume replays concurrent-safe RNG
+# and optimizer state.
+go test -run 'TestKillResume|TestStopResume|TestCheckpointTornWrite' -race ./internal/nn/
+
 echo "== fuzz seed smoke =="
 # -run=Fuzz executes every fuzz target once per seed corpus entry,
-# without the fuzzing engine; crashes here mean a regressed parser.
-go test -run=Fuzz ./internal/layout/ ./internal/gdsii/
+# without the fuzzing engine; crashes here mean a regressed parser or
+# model loader.
+go test -run=Fuzz ./internal/layout/ ./internal/gdsii/ ./internal/nn/
 
 echo "== trace store race =="
 # The trace store and tail sampler are hit from every request
@@ -50,5 +58,12 @@ echo "== trace smoke =="
 # one clip, and assert /debug/traces returns that request's trace with
 # non-empty child spans (raster/features/inference under the root).
 ./scripts/trace_smoke.sh
+
+echo "== reload smoke =="
+# End to end: boot hsdserve with a watched model path, hot-reload a
+# freshly trained model via /admin/reload and via the watcher, and
+# assert the generation gauge and reload counters move while a corrupt
+# model is refused.
+./scripts/reload_smoke.sh
 
 echo "ci: all checks passed"

@@ -40,6 +40,20 @@
 // Chrome trace_event format for about:tracing or ui.perfetto.dev. With
 // -debug-addr a second, private listener additionally serves
 // /debug/pprof/ — keep it off the public interface.
+//
+// Hot model reload (neural primaries): -model-watch polls a saved
+// network file (written by hsdtrain -save) and reloads it whenever it
+// changes; POST /admin/reload triggers the same on demand. Every
+// candidate passes a validation gate first — it is scored on a golden
+// set held out from the benchmark's test split, and swapped in only if
+// its hotspot recall and false-alarm rate stay within -max-recall-drop
+// / -max-far-rise of the live model and every score is finite. After a
+// swap the next -probation primary outcomes are watched: more than
+// -probation-max-failures failures rolls back to the previous
+// generation automatically. GET /admin/model reports the live
+// generation; POST /admin/rollback restores the previous one. The
+// hotspot_model_generation gauge and hotspot_reloads_total{outcome}
+// counters expose every decision on /metrics.
 package main
 
 import (
@@ -58,6 +72,7 @@ import (
 	hsd "github.com/golitho/hsd"
 	"github.com/golitho/hsd/internal/core"
 	"github.com/golitho/hsd/internal/lithosim"
+	"github.com/golitho/hsd/internal/nn"
 	"github.com/golitho/hsd/internal/serve"
 	"github.com/golitho/hsd/internal/trace"
 )
@@ -92,6 +107,34 @@ func trainDetector(name string, seed int64, bench *hsd.Benchmark) (core.Detector
 	return det, nil
 }
 
+// goldenSet picks up to n clips from the benchmark's test split for the
+// reload gate, keeping both classes represented so recall and
+// false-alarm deltas are both measurable.
+func goldenSet(bench *hsd.Benchmark, n int) []hsd.LabeledClip {
+	if n <= 0 {
+		return nil
+	}
+	all := hsd.FromSamples(bench.Test.Samples)
+	var hot, cold []hsd.LabeledClip
+	for _, s := range all {
+		if s.Hotspot {
+			hot = append(hot, s)
+		} else {
+			cold = append(cold, s)
+		}
+	}
+	out := make([]hsd.LabeledClip, 0, n)
+	for i := 0; len(out) < n && (i < len(hot) || i < len(cold)); i++ {
+		if i < len(hot) {
+			out = append(out, hot[i])
+		}
+		if len(out) < n && i < len(cold) {
+			out = append(out, cold[i])
+		}
+	}
+	return out
+}
+
 func run() error {
 	suitePath := flag.String("suite", "suite.gob", "suite gob file for training")
 	benchName := flag.String("bench", "", "training benchmark (default: first)")
@@ -107,6 +150,13 @@ func run() error {
 	traceSample := flag.Float64("trace-sample", 1, "fraction of unflagged traces the tail sampler retains; slow/errored/degraded/shed traces are always kept")
 	traceCapacity := flag.Int("trace-capacity", 256, "finished traces retained for /debug/traces (oldest evicted)")
 	traceSlow := flag.Duration("trace-slow", 0, "flag traces at least this slow so the sampler always keeps them (0: off)")
+	modelWatch := flag.String("model-watch", "", "saved network file to poll for hot reload (neural primaries only)")
+	watchInterval := flag.Duration("model-watch-interval", 5*time.Second, "poll interval for -model-watch")
+	goldenN := flag.Int("golden", 64, "golden validation clips held out of the test split for the reload gate")
+	maxRecallDrop := flag.Float64("max-recall-drop", 0.05, "max golden-set recall a reload candidate may lose vs. the live model")
+	maxFARRise := flag.Float64("max-far-rise", 0.05, "max golden-set false-alarm rate a reload candidate may add")
+	probation := flag.Int("probation", 200, "post-swap primary outcomes watched for automatic rollback (0: off)")
+	probationMaxFail := flag.Int("probation-max-failures", 5, "primary failures tolerated inside the probation window")
 	readTimeout := flag.Duration("read-timeout", 15*time.Second, "max time to read a request")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "max time to write a response (covers /verify simulation)")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
@@ -148,6 +198,32 @@ func run() error {
 		}
 	}
 
+	// Hot reload: a neural primary can be swapped for a new network saved
+	// by hsdtrain. The registry gates each candidate on a golden subset
+	// of the benchmark's test split before it may serve.
+	var reload *serve.ReloadOptions
+	if nd, ok := det.(*hsd.NeuralDetector); ok {
+		reload = &serve.ReloadOptions{
+			Loader: func(path string) (core.Detector, error) {
+				net, err := nn.LoadFile(path)
+				if err != nil {
+					return nil, err
+				}
+				return nd.WithNetwork(net)
+			},
+			DefaultPath:          *modelWatch,
+			Golden:               goldenSet(bench, *goldenN),
+			MaxRecallDrop:        *maxRecallDrop,
+			MaxFalseAlarmRise:    *maxFARRise,
+			ProbationRequests:    *probation,
+			ProbationMaxFailures: *probationMaxFail,
+			Logf:                 log.Printf,
+		}
+	}
+	if *modelWatch != "" && reload == nil {
+		return fmt.Errorf("-model-watch needs a neural primary; %s cannot hot-reload", det.Name())
+	}
+
 	sim, err := lithosim.New(lithosim.DefaultConfig())
 	if err != nil {
 		return err
@@ -167,6 +243,7 @@ func run() error {
 			SampleRate:    *traceSample,
 			SlowThreshold: *traceSlow,
 		},
+		Reload: reload,
 	})
 	if err != nil {
 		return err
@@ -195,6 +272,13 @@ func run() error {
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *modelWatch != "" {
+		// model.reload spans from watcher-triggered reloads land in the
+		// same trace store as request traces.
+		wctx := trace.WithTracer(ctx, srv.Tracer())
+		log.Printf("watching %s for model reloads every %v", *modelWatch, *watchInterval)
+		go srv.Registry().Watch(wctx, *modelWatch, *watchInterval)
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("serving hotspot detection on %s (POST /score, POST /verify, GET /readyz, GET /metrics, GET /debug/traces)", *addr)

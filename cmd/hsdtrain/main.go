@@ -1,21 +1,40 @@
 // Command hsdtrain trains one detector from the survey zoo on one
 // benchmark and reports the contest metrics. Neural detectors can be
-// saved for later scanning.
+// saved for later scanning, checkpointed periodically during training,
+// and resumed bit-identically after a crash or SIGTERM.
 //
 // Usage:
 //
 //	hsdtrain -suite suite.gob -bench B1 -detector CNN-biased -save cnn.gob
 //	hsdtrain -suite suite.gob -bench B3 -detector AdaBoost
+//	hsdtrain -suite suite.gob -detector CNN -checkpoint-dir ckpts -checkpoint-every 5
+//	hsdtrain -suite suite.gob -detector CNN -checkpoint-dir ckpts -resume
+//
+// With -checkpoint-dir, training writes an atomic checkpoint (network
+// parameters, optimizer state, RNG position, epoch history) every
+// -checkpoint-every epochs, and SIGINT/SIGTERM cut a final checkpoint
+// before exit instead of losing the run. -resume picks up from the
+// newest good checkpoint — torn or corrupted files are skipped with a
+// warning — and continues exactly as if the run had never stopped: the
+// resumed model is byte-identical to an uninterrupted one. A run that
+// is interrupted mid-training still prints the contest metrics of the
+// partial model before exiting non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	hsd "github.com/golitho/hsd"
+	"github.com/golitho/hsd/internal/nn"
+	"github.com/golitho/hsd/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +50,10 @@ func run() error {
 	detName := flag.String("detector", "CNN-biased", "zoo detector name")
 	seed := flag.Int64("seed", 1, "training seed")
 	save := flag.String("save", "", "save the trained network (neural detectors only)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for periodic training checkpoints (neural detectors only)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "epochs between checkpoints (with -checkpoint-dir)")
+	ckptKeep := flag.Int("checkpoint-keep", 2, "checkpoint files retained in -checkpoint-dir")
+	resume := flag.Bool("resume", false, "resume from the newest good checkpoint in -checkpoint-dir")
 	flag.Parse()
 
 	f, err := os.Open(*suitePath)
@@ -73,12 +96,63 @@ func run() error {
 		return err
 	}
 	det := spec.New()
+
+	// Checkpointing: wire the trainer's crash-tolerance into the CLI.
+	metrics := telemetry.NewRegistry()
+	metrics.SetHelp("hotspot_checkpoints_total", "Training checkpoints written this run.")
+	ckptTotal := metrics.Counter("hotspot_checkpoints_total")
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		nd, ok := det.(*hsd.NeuralDetector)
+		if !ok {
+			return fmt.Errorf("detector %s is not a neural detector; cannot checkpoint", spec.Name)
+		}
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+		nd.Cfg.CheckpointEvery = *ckptEvery
+		nd.Cfg.Checkpointer = &nn.DirCheckpointer{
+			Dir:  *ckptDir,
+			Keep: *ckptKeep,
+			OnSave: func(path string, c *nn.Checkpoint) {
+				ckptTotal.Inc()
+				fmt.Printf("checkpoint  epoch %d -> %s\n", c.Epoch, path)
+			},
+		}
+		if *resume {
+			path, ck, lerr := nn.LatestCheckpoint(*ckptDir)
+			if lerr != nil {
+				// Torn/corrupt files were skipped; say which and why.
+				fmt.Fprintln(os.Stderr, "hsdtrain: checkpoint recovery:", lerr)
+			}
+			if ck != nil {
+				nd.Cfg.Resume = ck
+				fmt.Printf("resuming    epoch %d from %s\n", ck.Epoch, path)
+			} else {
+				fmt.Printf("resuming    no usable checkpoint in %s; starting fresh\n", *ckptDir)
+			}
+		}
+	}
+
+	// SIGINT/SIGTERM interrupt training cooperatively: the trainer cuts a
+	// final checkpoint, Evaluate scores the partial model, and the
+	// contest metrics below still print before the non-zero exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	t0 := time.Now()
-	res, err := hsd.Evaluate(det, bench.Name,
+	res, err := hsd.EvaluateCtx(ctx, det, bench.Name,
 		hsd.FromSamples(bench.Train.Samples), hsd.FromSamples(bench.Test.Samples),
 		hsd.EvalOptions{Sim: sim, Augment: spec.Augment})
-	if err != nil {
+	interrupted := err != nil && errors.Is(err, nn.ErrInterrupted)
+	if err != nil && !interrupted {
 		return err
+	}
+	if interrupted {
+		fmt.Printf("INTERRUPTED %v\n", err)
+		fmt.Printf("            metrics below describe the partial model; resume with -resume\n")
 	}
 	fmt.Printf("detector   %s (%s)\n", spec.Name, det.Name())
 	fmt.Printf("benchmark  %s\n", bench.Name)
@@ -90,6 +164,9 @@ func run() error {
 		res.TrainTime.Round(time.Millisecond), res.InferTime.Round(time.Millisecond),
 		res.ODST().Round(time.Millisecond), res.FullSimTime.Round(time.Millisecond),
 		res.Speedup())
+	if n := ckptTotal.Value(); n > 0 {
+		fmt.Printf("checkpoints %.0f written to %s (hotspot_checkpoints_total)\n", n, *ckptDir)
+	}
 	fmt.Printf("total %v\n", time.Since(t0).Round(time.Millisecond))
 
 	if *save != "" {
@@ -97,10 +174,15 @@ func run() error {
 		if !ok {
 			return fmt.Errorf("detector %s is not a neural detector; cannot save", spec.Name)
 		}
+		// SaveNetworkFile is crash-safe: temp file, fsync, close (both
+		// checked), atomic rename. A failure leaves the old file intact.
 		if err := hsd.SaveNetworkFile(*save, nd); err != nil {
 			return err
 		}
 		fmt.Printf("saved network to %s\n", *save)
+	}
+	if interrupted {
+		return err
 	}
 	return nil
 }

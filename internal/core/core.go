@@ -393,6 +393,14 @@ func (d *NeuralDetector) Name() string { return d.Label + "+" + d.Ex.Name() }
 
 // Fit implements Detector.
 func (d *NeuralDetector) Fit(train []LabeledClip) error {
+	return d.FitCtx(context.Background(), train)
+}
+
+// FitCtx implements CtxFitter. A run halted by cancellation keeps the
+// partially trained network and history alongside the returned
+// nn.ErrInterrupted, so callers can still score and report metrics for
+// the epochs that completed.
+func (d *NeuralDetector) FitCtx(ctx context.Context, train []LabeledClip) error {
 	x, y, err := extract(d.Ex, train)
 	if err != nil {
 		return err
@@ -406,13 +414,36 @@ func (d *NeuralDetector) Fit(train []LabeledClip) error {
 	if err != nil {
 		return fmt.Errorf("core: build network: %w", err)
 	}
-	hist, err := nn.Fit(net, d.scale.applyAll(x), y, d.Cfg)
-	if err != nil {
-		return fmt.Errorf("core: nn fit: %w", err)
+	hist, ferr := nn.FitCtx(ctx, net, d.scale.applyAll(x), y, d.Cfg)
+	if ferr != nil && !errors.Is(ferr, nn.ErrInterrupted) {
+		return fmt.Errorf("core: nn fit: %w", ferr)
 	}
 	d.net = net
 	d.hist = hist
+	if ferr != nil {
+		return fmt.Errorf("core: nn fit: %w", ferr)
+	}
 	return nil
+}
+
+// WithNetwork returns a copy of the detector serving net through the
+// same fitted feature extractor, scaler, and threshold. This is the hot
+// reload path: weights come from a model file, everything else carries
+// over from the live detector. Training history does not transfer.
+func (d *NeuralDetector) WithNetwork(net *nn.Network) (*NeuralDetector, error) {
+	if net == nil {
+		return nil, errors.New("core: nil network")
+	}
+	if net.OutDim() != 2 {
+		return nil, fmt.Errorf("core: network ends with %d logits, want 2", net.OutDim())
+	}
+	if d.scale == nil {
+		return nil, errNotFitted
+	}
+	out := *d
+	out.net = net
+	out.hist = nil
+	return &out, nil
 }
 
 // History returns the training history of the last Fit.

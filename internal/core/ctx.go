@@ -32,6 +32,23 @@ type CtxBatchScorer interface {
 	ScoreBatchCtx(ctx context.Context, clips []layout.Clip) ([]float64, error)
 }
 
+// CtxFitter is implemented by detectors whose training observes context
+// cancellation (halting with nn.ErrInterrupted after cutting a final
+// checkpoint) and attributes checkpoint work to train.checkpoint spans.
+type CtxFitter interface {
+	// FitCtx is Fit with cooperative interruption.
+	FitCtx(ctx context.Context, train []LabeledClip) error
+}
+
+// FitClipsCtx trains through the detector's context-aware path when it
+// has one, falling back to plain Fit.
+func FitClipsCtx(ctx context.Context, d Detector, train []LabeledClip) error {
+	if cf, ok := d.(CtxFitter); ok {
+		return cf.FitCtx(ctx, train)
+	}
+	return d.Fit(train)
+}
+
 // ScoreClipCtx scores one clip through the detector's span-attributing
 // path when it has one, falling back to plain Score.
 func ScoreClipCtx(ctx context.Context, d Detector, clip layout.Clip) (float64, error) {
@@ -89,6 +106,7 @@ var (
 	_ CtxScorer      = (*LogRegDetector)(nil)
 	_ CtxScorer      = (*NeuralDetector)(nil)
 	_ CtxBatchScorer = (*NeuralDetector)(nil)
+	_ CtxFitter      = (*NeuralDetector)(nil)
 )
 
 // ScoreCtx implements CtxScorer.

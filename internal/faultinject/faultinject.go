@@ -40,11 +40,16 @@ type Fault struct {
 	// Count is how many hits fire before the site disarms itself;
 	// 0 means unlimited.
 	Count int
+	// Skip lets this many hits pass unharmed before the fault starts
+	// firing, so scripts like "crash on the 5th training epoch" are
+	// expressible. Skipped hits do not count as fired.
+	Skip int
 }
 
 type site struct {
 	fault     Fault
 	remaining int // hits left when fault.Count > 0
+	skip      int // hits to pass through before firing
 }
 
 var (
@@ -58,7 +63,7 @@ var (
 func Set(name string, f Fault) {
 	mu.Lock()
 	defer mu.Unlock()
-	sites[name] = &site{fault: f, remaining: f.Count}
+	sites[name] = &site{fault: f, remaining: f.Count, skip: f.Skip}
 	anyArmed.Store(true)
 }
 
@@ -97,6 +102,11 @@ func Hit(name string) error {
 	mu.Lock()
 	st, ok := sites[name]
 	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	if st.skip > 0 {
+		st.skip--
 		mu.Unlock()
 		return nil
 	}

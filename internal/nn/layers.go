@@ -162,6 +162,13 @@ type Dropout struct {
 	P   float64
 	rng *rand.Rand
 
+	// seed and draws make the RNG state capturable without mutating it:
+	// the stream is fully determined by the construction seed and the
+	// number of Float64 draws consumed, so a checkpoint records (seed,
+	// draws) and resume replays the discarded prefix. See fastForward.
+	seed  int64
+	draws int64
+
 	mask []bool
 }
 
@@ -169,7 +176,17 @@ var _ Layer = (*Dropout)(nil)
 
 // NewDropout constructs a dropout layer; seed fixes its randomness.
 func NewDropout(dim int, p float64, seed int64) *Dropout {
-	return &Dropout{Dim: dim, P: p, rng: rand.New(rand.NewSource(seed))}
+	return &Dropout{Dim: dim, P: p, seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// fastForward discards draws Float64 variates, restoring the RNG to the
+// state a checkpoint captured. Replaying the same call sequence on the
+// same seed is exact: math/rand is deterministic.
+func (d *Dropout) fastForward(draws int64) {
+	for i := int64(0); i < draws; i++ {
+		d.rng.Float64()
+	}
+	d.draws = draws
 }
 
 // Name implements Layer.
@@ -187,6 +204,7 @@ func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	}
 	out := x.Clone()
 	d.mask = make([]bool, len(out.Data))
+	d.draws += int64(len(out.Data))
 	scale := 1 / (1 - d.P)
 	for i := range out.Data {
 		if d.rng.Float64() < d.P {
@@ -219,5 +237,10 @@ func (d *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
 // Params implements Layer.
 func (d *Dropout) Params() []*Param { return nil }
 
-// Clone implements Layer.
-func (d *Dropout) Clone() Layer { return NewDropout(d.Dim, d.P, d.rng.Int63()) }
+// Clone implements Layer. The clone's stream is derived from the
+// source's (seed, draws) state instead of drawing from it, so cloning
+// never perturbs a live training run; clones are used for inference,
+// where dropout is inactive anyway.
+func (d *Dropout) Clone() Layer {
+	return NewDropout(d.Dim, d.P, d.seed^0x5E3779B97F4A7C15+d.draws)
+}

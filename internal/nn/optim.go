@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/golitho/hsd/internal/tensor"
@@ -50,6 +51,77 @@ func (s *SGD) Step(params []*Param) {
 	}
 }
 
+// optState is the serializable state of an optimizer: a kind tag, the
+// step count, the current (possibly decayed) learning rate, and the
+// flat contents of each slot-matrix group (velocity for SGD; first and
+// second moments for Adam). Slot geometry is not stored: it is
+// recovered from the network's parameters on restore.
+type optState struct {
+	Kind  string
+	T     int
+	LR    float64
+	Slots [][][]float64
+}
+
+// statefulOptimizer is satisfied by optimizers whose internal state can
+// round-trip through a checkpoint.
+type statefulOptimizer interface {
+	captureState() optState
+	restoreState(st optState, params []*Param) error
+}
+
+func flattenSlots(mats []*tensor.Matrix) [][]float64 {
+	out := make([][]float64, len(mats))
+	for i, m := range mats {
+		out[i] = append([]float64(nil), m.Data...)
+	}
+	return out
+}
+
+func restoreSlots(flat [][]float64, params []*Param) ([]*tensor.Matrix, error) {
+	if len(flat) != len(params) {
+		return nil, fmt.Errorf("nn: optimizer state has %d slots, network has %d params", len(flat), len(params))
+	}
+	out := make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		m := tensor.NewMatrix(p.W.Rows, p.W.Cols)
+		if len(flat[i]) != len(m.Data) {
+			return nil, fmt.Errorf("nn: optimizer slot %d has %d values, param has %d", i, len(flat[i]), len(m.Data))
+		}
+		copy(m.Data, flat[i])
+		out[i] = m
+	}
+	return out, nil
+}
+
+func (s *SGD) captureState() optState {
+	st := optState{Kind: "sgd", LR: s.LR}
+	if s.velocity != nil {
+		st.Slots = [][][]float64{flattenSlots(s.velocity)}
+	}
+	return st
+}
+
+func (s *SGD) restoreState(st optState, params []*Param) error {
+	if st.Kind != "sgd" {
+		return fmt.Errorf("nn: checkpoint has %s optimizer state, run uses sgd", st.Kind)
+	}
+	s.LR = st.LR
+	if len(st.Slots) == 0 {
+		s.velocity = nil
+		return nil
+	}
+	if len(st.Slots) != 1 {
+		return fmt.Errorf("nn: sgd state has %d slot groups, want 1", len(st.Slots))
+	}
+	v, err := restoreSlots(st.Slots[0], params)
+	if err != nil {
+		return err
+	}
+	s.velocity = v
+	return nil
+}
+
 // Adam is the Adam optimizer (Kingma & Ba 2015).
 type Adam struct {
 	LR, Beta1, Beta2, Eps float64
@@ -70,6 +142,39 @@ func NewAdam(lr float64) *Adam {
 func (a *Adam) Name() string { return "adam" }
 
 func (a *Adam) scaleLR(f float64) { a.LR *= f }
+
+func (a *Adam) captureState() optState {
+	st := optState{Kind: "adam", T: a.t, LR: a.LR}
+	if a.m != nil {
+		st.Slots = [][][]float64{flattenSlots(a.m), flattenSlots(a.v)}
+	}
+	return st
+}
+
+func (a *Adam) restoreState(st optState, params []*Param) error {
+	if st.Kind != "adam" {
+		return fmt.Errorf("nn: checkpoint has %s optimizer state, run uses adam", st.Kind)
+	}
+	a.LR = st.LR
+	a.t = st.T
+	if len(st.Slots) == 0 {
+		a.m, a.v = nil, nil
+		return nil
+	}
+	if len(st.Slots) != 2 {
+		return fmt.Errorf("nn: adam state has %d slot groups, want 2", len(st.Slots))
+	}
+	m, err := restoreSlots(st.Slots[0], params)
+	if err != nil {
+		return err
+	}
+	v, err := restoreSlots(st.Slots[1], params)
+	if err != nil {
+		return err
+	}
+	a.m, a.v = m, v
+	return nil
+}
 
 // Step implements Optimizer.
 func (a *Adam) Step(params []*Param) {

@@ -43,61 +43,114 @@ const frameHeaderLen = 8 + 4
 // field cannot drive a giant allocation.
 const maxPayloadBytes = 1 << 31
 
-// Save serializes the network's architecture and weights in the framed
-// format: magic, payload length, payload CRC32, gob payload. The frame
-// lets Load reject truncated or bit-flipped files with a clear error
-// instead of reconstructing garbage weights.
-func Save(w io.Writer, net *Network) error {
-	var payload bytes.Buffer
-	if err := encodeNet(&payload, net); err != nil {
-		return err
-	}
-	header := make([]byte, len(fileMagic)+frameHeaderLen)
-	copy(header, fileMagic)
-	binary.BigEndian.PutUint64(header[len(fileMagic):], uint64(payload.Len()))
-	binary.BigEndian.PutUint32(header[len(fileMagic)+8:], crc32.ChecksumIEEE(payload.Bytes()))
+// writeFramed emits magic, payload length, payload CRC32, then the
+// payload itself: the shared integrity frame of the network and
+// checkpoint formats.
+func writeFramed(w io.Writer, magic, payload []byte) error {
+	header := make([]byte, len(magic)+frameHeaderLen)
+	copy(header, magic)
+	binary.BigEndian.PutUint64(header[len(magic):], uint64(len(payload)))
+	binary.BigEndian.PutUint32(header[len(magic)+8:], crc32.ChecksumIEEE(payload))
 	if _, err := w.Write(header); err != nil {
 		return fmt.Errorf("nn: write header: %w", err)
 	}
-	if _, err := w.Write(payload.Bytes()); err != nil {
+	if _, err := w.Write(payload); err != nil {
 		return fmt.Errorf("nn: write payload: %w", err)
 	}
 	return nil
 }
 
-func encodeNet(w io.Writer, net *Network) error {
-	file := netFile{Version: formatVersion}
-	for _, l := range net.Layers {
-		var s snapshot
-		switch v := l.(type) {
-		case *Dense:
-			s = snapshot{Kind: "dense", Ints: []int{v.In, v.Out},
-				Floats: [][]float64{append([]float64(nil), v.W.Data...), append([]float64(nil), v.B...)}}
-		case *ReLU:
-			s = snapshot{Kind: "relu", Ints: []int{v.Dim}}
-		case *Dropout:
-			s = snapshot{Kind: "dropout", Ints: []int{v.Dim},
-				Seeds: []int64{v.rng.Int63()}, Floats: [][]float64{{v.P}}}
-		case *Conv2D:
-			s = snapshot{Kind: "conv2d",
-				Ints:   []int{v.InC, v.InH, v.InW, v.OutC, v.K, v.Stride, v.Pad},
-				Floats: [][]float64{append([]float64(nil), v.W.Data...), append([]float64(nil), v.B...)}}
-		case *MaxPool2D:
-			s = snapshot{Kind: "maxpool2d", Ints: []int{v.C, v.H, v.W, v.Size}}
-		case *BatchNorm:
-			s = snapshot{Kind: "batchnorm", Ints: []int{v.Dim},
-				Floats: [][]float64{
-					append([]float64(nil), v.Gamma...),
-					append([]float64(nil), v.Beta...),
-					append([]float64(nil), v.RunMean...),
-					append([]float64(nil), v.RunVar...),
-					{v.Eps, v.Momentum},
-				}}
-		default:
-			return fmt.Errorf("nn: cannot serialize layer %T", l)
-		}
-		file.Layers = append(file.Layers, s)
+// readFramed consumes a frame written by writeFramed (the magic has
+// already been peeked and matched) and returns the verified payload.
+// kind names the file type in errors ("network", "checkpoint").
+func readFramed(br *bufio.Reader, magic []byte, kind string) ([]byte, error) {
+	if _, err := br.Discard(len(magic)); err != nil {
+		return nil, fmt.Errorf("nn: read magic: %w", err)
 	}
+	header := make([]byte, frameHeaderLen)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("nn: %s file truncated in header (torn write?): %w", kind, err)
+	}
+	size := binary.BigEndian.Uint64(header)
+	wantCRC := binary.BigEndian.Uint32(header[8:])
+	if size > maxPayloadBytes {
+		return nil, fmt.Errorf("nn: %s file corrupt: implausible payload size %d", kind, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("nn: %s file truncated: want %d payload bytes (torn write?): %w", kind, size, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("nn: %s file corrupt: checksum %08x, want %08x", kind, got, wantCRC)
+	}
+	return payload, nil
+}
+
+// Save serializes the network's architecture and weights in the framed
+// format: magic, payload length, payload CRC32, gob payload. The frame
+// lets Load reject truncated or bit-flipped files with a clear error
+// instead of reconstructing garbage weights. Save does not mutate the
+// network: saving the same state twice produces identical bytes.
+func Save(w io.Writer, net *Network) error {
+	var payload bytes.Buffer
+	if err := encodeNet(&payload, net); err != nil {
+		return err
+	}
+	return writeFramed(w, fileMagic, payload.Bytes())
+}
+
+// snapshotLayer captures one layer without mutating it; the shared
+// serialization of the network and checkpoint formats.
+func snapshotLayer(l Layer) (snapshot, error) {
+	switch v := l.(type) {
+	case *Dense:
+		return snapshot{Kind: "dense", Ints: []int{v.In, v.Out},
+			Floats: [][]float64{append([]float64(nil), v.W.Data...), append([]float64(nil), v.B...)}}, nil
+	case *ReLU:
+		return snapshot{Kind: "relu", Ints: []int{v.Dim}}, nil
+	case *Dropout:
+		// (seed, draws) reconstructs the RNG stream position exactly,
+		// so a restored layer continues the same dropout sequence.
+		return snapshot{Kind: "dropout", Ints: []int{v.Dim},
+			Seeds: []int64{v.seed, v.draws}, Floats: [][]float64{{v.P}}}, nil
+	case *Conv2D:
+		return snapshot{Kind: "conv2d",
+			Ints:   []int{v.InC, v.InH, v.InW, v.OutC, v.K, v.Stride, v.Pad},
+			Floats: [][]float64{append([]float64(nil), v.W.Data...), append([]float64(nil), v.B...)}}, nil
+	case *MaxPool2D:
+		return snapshot{Kind: "maxpool2d", Ints: []int{v.C, v.H, v.W, v.Size}}, nil
+	case *BatchNorm:
+		return snapshot{Kind: "batchnorm", Ints: []int{v.Dim},
+			Floats: [][]float64{
+				append([]float64(nil), v.Gamma...),
+				append([]float64(nil), v.Beta...),
+				append([]float64(nil), v.RunMean...),
+				append([]float64(nil), v.RunVar...),
+				{v.Eps, v.Momentum},
+			}}, nil
+	default:
+		return snapshot{}, fmt.Errorf("nn: cannot serialize layer %T", l)
+	}
+}
+
+func snapshotNet(net *Network) ([]snapshot, error) {
+	out := make([]snapshot, 0, len(net.Layers))
+	for _, l := range net.Layers {
+		s, err := snapshotLayer(l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func encodeNet(w io.Writer, net *Network) error {
+	layers, err := snapshotNet(net)
+	if err != nil {
+		return err
+	}
+	file := netFile{Version: formatVersion, Layers: layers}
 	if err := gob.NewEncoder(w).Encode(file); err != nil {
 		return fmt.Errorf("nn: encode network: %w", err)
 	}
@@ -112,39 +165,20 @@ func Load(r io.Reader) (*Network, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(len(fileMagic))
 	if err == nil && bytes.Equal(head, fileMagic) {
-		return loadFramed(br)
+		payload, err := readFramed(br, fileMagic, "network")
+		if err != nil {
+			return nil, err
+		}
+		return decodeNet(bytes.NewReader(payload))
 	}
 	return decodeNet(br)
 }
 
-func loadFramed(br *bufio.Reader) (*Network, error) {
-	if _, err := br.Discard(len(fileMagic)); err != nil {
-		return nil, fmt.Errorf("nn: read magic: %w", err)
-	}
-	header := make([]byte, frameHeaderLen)
-	if _, err := io.ReadFull(br, header); err != nil {
-		return nil, fmt.Errorf("nn: network file truncated in header (torn write?): %w", err)
-	}
-	size := binary.BigEndian.Uint64(header)
-	wantCRC := binary.BigEndian.Uint32(header[8:])
-	if size > maxPayloadBytes {
-		return nil, fmt.Errorf("nn: network file corrupt: implausible payload size %d", size)
-	}
-	payload := make([]byte, size)
-	if _, err := io.ReadFull(br, payload); err != nil {
-		return nil, fmt.Errorf("nn: network file truncated: want %d payload bytes (torn write?): %w", size, err)
-	}
-	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
-		return nil, fmt.Errorf("nn: network file corrupt: checksum %08x, want %08x", got, wantCRC)
-	}
-	return decodeNet(bytes.NewReader(payload))
-}
-
-// SaveFile writes the network to path crash-safely: the bytes go to a
-// temp file in the same directory, are fsynced, and atomically renamed
-// over path. A crash mid-save leaves the previous file (or nothing)
-// intact — never a torn file.
-func SaveFile(path string, net *Network) error {
+// atomicWriteFile writes a file crash-safely: the bytes go to a temp
+// file in the same directory, are fsynced, and atomically renamed over
+// path. A crash mid-save leaves the previous file (or nothing) intact —
+// never a torn file.
+func atomicWriteFile(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -156,7 +190,7 @@ func SaveFile(path string, net *Network) error {
 			os.Remove(tmp.Name())
 		}
 	}()
-	if err := Save(tmp, net); err != nil {
+	if err := write(tmp); err != nil {
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
@@ -178,6 +212,12 @@ func SaveFile(path string, net *Network) error {
 		d.Close()
 	}
 	return nil
+}
+
+// SaveFile writes the network to path crash-safely (temp file, fsync,
+// atomic rename).
+func SaveFile(path string, net *Network) error {
+	return atomicWriteFile(path, func(w io.Writer) error { return Save(w, net) })
 }
 
 // LoadFile reads a network from path with the integrity checks of Load.
@@ -232,10 +272,20 @@ func restoreLayer(s snapshot) (Layer, error) {
 		}
 		return NewReLU(s.Ints[0]), nil
 	case "dropout":
-		if len(s.Ints) != 1 || len(s.Seeds) != 1 || len(s.Floats) != 1 || len(s.Floats[0]) != 1 {
+		// One seed is the legacy form (a fresh stream); two is
+		// (seed, draws), the exact RNG state for resumable training.
+		if len(s.Ints) != 1 || len(s.Seeds) < 1 || len(s.Seeds) > 2 ||
+			len(s.Floats) != 1 || len(s.Floats[0]) != 1 {
 			return nil, fmt.Errorf("malformed dropout snapshot")
 		}
-		return NewDropout(s.Ints[0], s.Floats[0][0], s.Seeds[0]), nil
+		d := NewDropout(s.Ints[0], s.Floats[0][0], s.Seeds[0])
+		if len(s.Seeds) == 2 {
+			if s.Seeds[1] < 0 || s.Seeds[1] > 1<<40 {
+				return nil, fmt.Errorf("implausible dropout draw count %d", s.Seeds[1])
+			}
+			d.fastForward(s.Seeds[1])
+		}
+		return d, nil
 	case "conv2d":
 		if len(s.Ints) != 7 || len(s.Floats) != 2 {
 			return nil, fmt.Errorf("malformed conv2d snapshot")

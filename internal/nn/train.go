@@ -1,14 +1,32 @@
 package nn
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
+	"github.com/golitho/hsd/internal/faultinject"
 	"github.com/golitho/hsd/internal/resilience"
 	"github.com/golitho/hsd/internal/tensor"
+	"github.com/golitho/hsd/internal/trace"
 )
+
+// TrainEpochSite is the fault-injection site hit at the top of every
+// training epoch, so chaos tests can kill a run at a chosen epoch.
+const TrainEpochSite = "nn.train.epoch"
+
+// ErrInterrupted marks a run halted by context cancellation (SIGTERM,
+// deadline). The returned history is valid up to the halt, and a final
+// checkpoint has been cut when a Checkpointer is configured.
+var ErrInterrupted = errors.New("nn: training interrupted")
+
+// ErrNonFinite marks a run halted by a NaN or Inf loss or gradient.
+// The in-memory network is poisoned, but the last end-of-epoch
+// checkpoint was persisted before returning, so no good state is lost.
+var ErrNonFinite = errors.New("nn: non-finite loss or gradient")
 
 // TrainConfig parameterizes Trainer.Fit.
 type TrainConfig struct {
@@ -31,6 +49,23 @@ type TrainConfig struct {
 	// Clock drives epoch timing (default the wall clock). Injectable so
 	// timing-sensitive tests stay deterministic under parallel execution.
 	Clock resilience.Clock
+
+	// Checkpointer, when non-nil, persists a checkpoint every
+	// CheckpointEvery epochs, after the final epoch, and on any halt
+	// (cancellation or non-finite guard). A checkpoint save error halts
+	// training: a run that silently cannot checkpoint is not
+	// crash-tolerant.
+	Checkpointer Checkpointer
+	// CheckpointEvery is the persist cadence in epochs (default 1).
+	CheckpointEvery int
+	// Resume continues a run from a checkpoint instead of epoch 1. The
+	// config must match the original run (same data, seed, optimizer
+	// hyperparameters, epochs); Seed mismatches are rejected, the rest
+	// is the caller's contract. The continuation is bit-identical to an
+	// uninterrupted run: weights, optimizer slots, and the dropout RNG
+	// come from the checkpoint, and the train-loop RNG is replayed to
+	// its position at the checkpoint.
+	Resume *Checkpoint
 }
 
 // lrScalable is satisfied by optimizers supporting learning-rate decay.
@@ -49,6 +84,9 @@ func (c *TrainConfig) normalize() {
 	if c.Clock == nil {
 		c.Clock = resilience.Real
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
 }
 
 // EpochStats records one epoch of training history.
@@ -64,6 +102,49 @@ type EpochStats struct {
 // Fit trains net in place on X (rows) with labels y, returning the
 // per-epoch history. Weights are (re)initialized from the seed.
 func Fit(net *Network, x [][]float64, y []int, cfg TrainConfig) ([]EpochStats, error) {
+	return FitCtx(context.Background(), net, x, y, cfg)
+}
+
+// persistCheckpoint writes c through the configured Checkpointer under
+// a train.checkpoint span.
+func persistCheckpoint(ctx context.Context, cfg *TrainConfig, c *Checkpoint) error {
+	if cfg.Checkpointer == nil || c == nil {
+		return nil
+	}
+	_, sp := trace.Start(ctx, "train.checkpoint")
+	sp.SetAttrInt("epoch", c.Epoch)
+	err := cfg.Checkpointer.SaveCheckpoint(c)
+	if err != nil {
+		sp.SetError(err)
+	}
+	sp.End()
+	if err != nil {
+		return fmt.Errorf("nn: checkpoint at epoch %d: %w", c.Epoch, err)
+	}
+	return nil
+}
+
+// nonFiniteGrad reports the first parameter holding a NaN or Inf
+// gradient, if any.
+func nonFiniteGrad(params []*Param) (int, bool) {
+	for i, p := range params {
+		for _, g := range p.G.Data {
+			if math.IsNaN(g) || math.IsInf(g, 0) {
+				return i, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// FitCtx is Fit with cooperative interruption, crash tolerance, and
+// resume. Cancellation is observed at epoch boundaries: the run cuts a
+// final checkpoint and returns the history so far with ErrInterrupted.
+// Non-finite losses or gradients halt the run before the poisoned
+// optimizer step, persist the last good end-of-epoch checkpoint, and
+// return ErrNonFinite. A run resumed from any of those checkpoints via
+// cfg.Resume continues bit-identically to an uninterrupted run.
+func FitCtx(ctx context.Context, net *Network, x [][]float64, y []int, cfg TrainConfig) ([]EpochStats, error) {
 	n := len(x)
 	if n == 0 || len(y) != n {
 		return nil, fmt.Errorf("nn: bad training set: %d samples, %d labels", n, len(y))
@@ -88,10 +169,53 @@ func Fit(net *Network, x [][]float64, y []int, cfg TrainConfig) ([]EpochStats, e
 	for i := range order {
 		order[i] = i
 	}
-	var history []EpochStats
-	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
-		epochStart := cfg.Clock.Now()
+	shuffle := func() {
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+
+	startEpoch := 0
+	var history []EpochStats
+	// lastGood is the newest end-of-epoch snapshot; halts persist it so
+	// an interrupted or NaN-poisoned run never loses completed work.
+	var lastGood *Checkpoint
+	if cfg.Resume != nil {
+		r := cfg.Resume
+		if r.Seed != cfg.Seed {
+			return nil, fmt.Errorf("nn: checkpoint was taken with seed %d, config has %d", r.Seed, cfg.Seed)
+		}
+		if r.Epoch > cfg.Epochs {
+			return nil, fmt.Errorf("nn: checkpoint is at epoch %d, config trains only %d", r.Epoch, cfg.Epochs)
+		}
+		if err := r.apply(net, &cfg); err != nil {
+			return nil, err
+		}
+		// Replay the train loop's RNG-dependent state to its position
+		// at the checkpoint. Init above consumed the same draws as the
+		// original run's Init; replaying the per-epoch shuffles (whose
+		// permutations compose across epochs) restores both the RNG
+		// stream position and the order slice, so neither needs to be
+		// stored in the checkpoint.
+		for e := 0; e < r.Epoch; e++ {
+			shuffle()
+		}
+		history = append([]EpochStats(nil), r.History...)
+		startEpoch = r.Epoch
+		lastGood = r
+	}
+	for epoch := startEpoch + 1; epoch <= cfg.Epochs; epoch++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err := persistCheckpoint(ctx, &cfg, lastGood); err != nil {
+				return history, err
+			}
+			return history, fmt.Errorf("%w before epoch %d: %v", ErrInterrupted, epoch, cerr)
+		}
+		if err := faultinject.Hit(TrainEpochSite); err != nil {
+			// Simulated crash: return immediately with no final
+			// checkpoint, exactly what a kill -9 leaves behind.
+			return history, err
+		}
+		epochStart := cfg.Clock.Now()
+		shuffle()
 		var lossSum float64
 		correct, batches := 0, 0
 		for start := 0; start < n; start += cfg.BatchSize {
@@ -108,8 +232,22 @@ func Fit(net *Network, x [][]float64, y []int, cfg TrainConfig) ([]EpochStats, e
 			}
 			logits := net.Forward(xb, true)
 			loss, grad, c := cfg.Loss.Loss(logits, yb)
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				if err := persistCheckpoint(ctx, &cfg, lastGood); err != nil {
+					return history, err
+				}
+				return history, fmt.Errorf("%w: loss=%v at epoch %d batch %d%s",
+					ErrNonFinite, loss, epoch, batches, lastGoodNote(lastGood))
+			}
 			net.ZeroGrad()
 			net.Backward(grad)
+			if pi, bad := nonFiniteGrad(net.Params()); bad {
+				if err := persistCheckpoint(ctx, &cfg, lastGood); err != nil {
+					return history, err
+				}
+				return history, fmt.Errorf("%w: gradient of param %d at epoch %d batch %d%s",
+					ErrNonFinite, pi, epoch, batches, lastGoodNote(lastGood))
+			}
 			cfg.Optimizer.Step(net.Params())
 			lossSum += loss
 			correct += c
@@ -131,8 +269,30 @@ func Fit(net *Network, x [][]float64, y []int, cfg TrainConfig) ([]EpochStats, e
 				s.scaleLR(cfg.LRStepFactor)
 			}
 		}
+		if cfg.Checkpointer != nil {
+			// Capture after the LR step so a resumed optimizer carries
+			// the decayed rate, not the pre-decay one.
+			c, err := captureCheckpoint(net, &cfg, epoch, history)
+			if err != nil {
+				return history, err
+			}
+			lastGood = c
+			if epoch%cfg.CheckpointEvery == 0 || epoch == cfg.Epochs {
+				if err := persistCheckpoint(ctx, &cfg, c); err != nil {
+					return history, err
+				}
+			}
+		}
 	}
 	return history, nil
+}
+
+// lastGoodNote describes the preserved checkpoint in halt errors.
+func lastGoodNote(c *Checkpoint) string {
+	if c == nil {
+		return " (no checkpoint configured)"
+	}
+	return fmt.Sprintf(" (last good checkpoint: epoch %d)", c.Epoch)
 }
 
 // ScoreBatch returns the hotspot probability for each input row.

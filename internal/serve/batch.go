@@ -149,17 +149,19 @@ func (s *Server) batchCascade(ctx context.Context, items []*batchItem) {
 	for i, it := range items {
 		clips[i] = it.clip
 	}
+	prim := s.primary.Load()
 	var primaryErr error
 	reason := ""
 	if s.breaker.Allow() {
 		var scores []float64
-		pctx, psp := trace.Start(ctx, "primary", trace.A("detector", s.primary.det.Name()))
-		scores, primaryErr = s.scoreBatchPrimary(pctx, clips)
+		pctx, psp := trace.Start(ctx, "primary", trace.A("detector", prim.det.Name()))
+		scores, primaryErr = s.scoreBatchPrimary(pctx, prim, clips)
 		psp.SetError(primaryErr)
 		psp.End()
 		s.breaker.Record(primaryErr)
+		s.reportOutcome(primaryErr)
 		if primaryErr == nil {
-			name, thr := s.primary.det.Name(), s.primary.det.Threshold()
+			name, thr := prim.det.Name(), prim.det.Threshold()
 			for i, it := range items {
 				it.done <- batchResult{resp: ScoreResponse{
 					Detector: name, Score: scores[i],
@@ -207,11 +209,11 @@ func (s *Server) batchCascade(ctx context.Context, items []*batchItem) {
 	}
 }
 
-// scoreBatchPrimary runs the primary detector's batch path under a
-// fresh deadline budget (the batch outlives any single request context,
-// so only the parent's values — the trace span — survive, not its
-// cancellation), converting panics to errors exactly like scorePrimary.
-func (s *Server) scoreBatchPrimary(parent context.Context, clips []layout.Clip) ([]float64, error) {
+// scoreBatchPrimary runs prim's batch path under a fresh deadline
+// budget (the batch outlives any single request context, so only the
+// parent's values — the trace span — survive, not its cancellation),
+// converting panics to errors exactly like scorePrimary.
+func (s *Server) scoreBatchPrimary(parent context.Context, prim *scorer, clips []layout.Clip) ([]float64, error) {
 	ctx, cancel := resilience.WithBudget(context.WithoutCancel(parent), s.opts.DeadlineBudget)
 	defer cancel()
 	type outcome struct {
@@ -230,7 +232,7 @@ func (s *Server) scoreBatchPrimary(parent context.Context, clips []layout.Clip) 
 			ch <- outcome{nil, err}
 			return
 		}
-		scores, err := s.primary.scoreBatch(ctx, clips)
+		scores, err := prim.scoreBatch(ctx, clips)
 		ch <- outcome{scores, err}
 	}()
 	select {

@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/golitho/hsd/internal/core"
@@ -44,6 +45,7 @@ import (
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/lithosim"
+	"github.com/golitho/hsd/internal/registry"
 	"github.com/golitho/hsd/internal/resilience"
 	"github.com/golitho/hsd/internal/telemetry"
 	"github.com/golitho/hsd/internal/trace"
@@ -101,6 +103,12 @@ type Options struct {
 	// server's own (so hotspot_stage_seconds lands in /metrics) and its
 	// Clock defaults to Options.Clock.
 	Trace *trace.Config
+	// Reload, when non-nil, puts the primary detector behind a versioned
+	// model registry with validated hot reload: POST /admin/reload loads
+	// a candidate, gates it on the golden set against the live model, and
+	// swaps atomically; post-swap primary outcomes feed a probation window
+	// that rolls back automatically when errors spike.
+	Reload *ReloadOptions
 }
 
 // scorer wraps one detector, serializing access through a single clone
@@ -131,9 +139,13 @@ func (s *scorer) score(ctx context.Context, clip layout.Clip) (float64, error) {
 // Server wires the detector cascade (and optionally the oracle) into an
 // http.Handler.
 type Server struct {
-	opts     Options
-	primary  *scorer
-	fallback *scorer // nil when no fallback is configured
+	opts Options
+	// primary is swapped atomically on validated hot reload; every
+	// request loads it exactly once so detector name, threshold, and
+	// score always describe the same generation.
+	primary  atomic.Pointer[scorer]
+	registry *registry.Registry // nil when hot reload is disabled
+	fallback *scorer            // nil when no fallback is configured
 	sim      *lithosim.Simulator
 	clipNM   int
 	coreFrac float64
@@ -197,7 +209,6 @@ func NewServer(opts Options) (*Server, error) {
 	}
 	s := &Server{
 		opts:         opts,
-		primary:      newScorer(opts.Primary),
 		sim:          opts.Sim,
 		clipNM:       opts.ClipNM,
 		coreFrac:     opts.CoreFrac,
@@ -209,6 +220,7 @@ func NewServer(opts Options) (*Server, error) {
 		batchSize:    reg.Histogram("batch_size", []float64{1, 2, 4, 8, 16, 32, 64}),
 		batchLatency: reg.Histogram("batch_latency_seconds", nil),
 	}
+	s.primary.Store(newScorer(opts.Primary))
 	s.batch = &batcher{
 		srv:     s,
 		maxSize: opts.BatchMaxSize,
@@ -246,8 +258,30 @@ func NewServer(opts Options) (*Server, error) {
 		}
 		s.tracer = trace.New(tcfg)
 	}
+	if opts.Reload != nil {
+		if opts.Reload.Loader == nil {
+			return nil, fmt.Errorf("serve: Reload options need a Loader")
+		}
+		s.registry = registry.New(opts.Primary, registry.Config{
+			Loader:               opts.Reload.Loader,
+			Golden:               opts.Reload.Golden,
+			MaxRecallDrop:        opts.Reload.MaxRecallDrop,
+			MaxFalseAlarmRise:    opts.Reload.MaxFalseAlarmRise,
+			ProbationRequests:    opts.Reload.ProbationRequests,
+			ProbationMaxFailures: opts.Reload.ProbationMaxFailures,
+			Logf:                 opts.Reload.Logf,
+			OnSwap: func(gen *registry.Generation) {
+				s.primary.Store(newScorer(gen.Detector))
+			},
+		})
+		s.registry.BindMetrics(reg)
+	}
 	return s, nil
 }
+
+// Registry returns the model registry, or nil when hot reload is
+// disabled. Callers use it to start a Watch goroutine on a model path.
+func (s *Server) Registry() *registry.Registry { return s.registry }
 
 // Tracer returns the request tracer, or nil when tracing is disabled.
 func (s *Server) Tracer() *trace.Tracer { return s.tracer }
@@ -266,6 +300,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/batch", s.instrument("/batch", s.handleBatch))
 	mux.HandleFunc("/verify", s.instrument("/verify", s.handleVerify))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	if s.registry != nil {
+		mux.HandleFunc("/admin/reload", s.instrument("/admin/reload", s.handleReload))
+		mux.HandleFunc("/admin/rollback", s.instrument("/admin/rollback", s.handleRollback))
+		mux.HandleFunc("/admin/model", s.instrument("/admin/model", s.handleModel))
+	}
 	if s.tracer != nil {
 		// Uninstrumented on purpose: trace inspection must not perturb
 		// the request metrics or generate traces of its own.
@@ -385,7 +424,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]string{
 		"status":   "ok",
-		"detector": s.primary.det.Name(),
+		"detector": s.primary.Load().det.Name(),
 	})
 }
 
@@ -413,7 +452,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	}
 	out := ReadyResponse{
 		Breaker:  s.breaker.State().String(),
-		Primary:  s.primary.det.Name(),
+		Primary:  s.primary.Load().det.Name(),
 		Shedding: s.shed != nil,
 	}
 	if s.fallback != nil {
@@ -546,19 +585,21 @@ func (s *Server) cascadeError(w http.ResponseWriter, err error) {
 // makes the tail sampler retain the trace.
 func (s *Server) cascade(ctx context.Context, clip layout.Clip) (ScoreResponse, error) {
 	sp := trace.FromContext(ctx)
+	prim := s.primary.Load()
 	var primaryErr error
 	reason := ""
 	if s.breaker.Allow() {
 		var score float64
-		pctx, psp := trace.Start(ctx, "primary", trace.A("detector", s.primary.det.Name()))
-		score, primaryErr = s.scorePrimary(pctx, clip)
+		pctx, psp := trace.Start(ctx, "primary", trace.A("detector", prim.det.Name()))
+		score, primaryErr = s.scorePrimary(pctx, prim, clip)
 		psp.SetError(primaryErr)
 		psp.End()
 		s.breaker.Record(primaryErr)
+		s.reportOutcome(primaryErr)
 		if primaryErr == nil {
-			thr := s.primary.det.Threshold()
+			thr := prim.det.Threshold()
 			return ScoreResponse{
-				Detector: s.primary.det.Name(), Score: score,
+				Detector: prim.det.Name(), Score: score,
 				Threshold: thr, Hotspot: score >= thr,
 			}, nil
 		}
@@ -609,12 +650,21 @@ type panicError struct{ val any }
 
 func (e *panicError) Error() string { return fmt.Sprintf("primary detector panic: %v", e.val) }
 
-// scorePrimary runs the primary detector under the request deadline,
-// converting panics to errors. The scoring goroutine cannot be killed
-// on timeout — it finishes in the background while the request
-// degrades; the breaker stops sending traffic to a persistently slow
-// primary.
-func (s *Server) scorePrimary(ctx context.Context, clip layout.Clip) (float64, error) {
+// reportOutcome feeds one primary-scoring outcome into the model
+// registry's probation window (a no-op without a registry, and one
+// atomic load outside probation).
+func (s *Server) reportOutcome(primaryErr error) {
+	if s.registry != nil {
+		s.registry.ReportOutcome(primaryErr == nil)
+	}
+}
+
+// scorePrimary runs prim (the primary scorer the caller loaded) under
+// the request deadline, converting panics to errors. The scoring
+// goroutine cannot be killed on timeout — it finishes in the background
+// while the request degrades; the breaker stops sending traffic to a
+// persistently slow primary.
+func (s *Server) scorePrimary(ctx context.Context, prim *scorer, clip layout.Clip) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
@@ -634,7 +684,7 @@ func (s *Server) scorePrimary(ctx context.Context, clip layout.Clip) (float64, e
 			ch <- outcome{0, err}
 			return
 		}
-		score, err := s.primary.score(ctx, clip)
+		score, err := prim.score(ctx, clip)
 		ch <- outcome{score, err}
 	}()
 	select {
