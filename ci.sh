@@ -31,9 +31,17 @@ go test -run Chaos -race ./internal/serve/ ./internal/core/
 
 echo "== inference smoke =="
 # The batched inference engine must not fall behind the serial
-# per-sample scoring loop (best-of-3, 25% grace margin; see
-# TestParallelInferenceSmoke for the reasoning).
-HSD_INFER_SMOKE=1 go test -run TestParallelInferenceSmoke .
+# per-sample scoring loop, and the pool-sharded parallel matmul must
+# not fall behind the serial kernel (best-of-3, 25% grace margin; see
+# TestParallelInferenceSmoke / TestParallelMatMulSmoke for reasoning).
+HSD_INFER_SMOKE=1 go test -run 'TestParallelInferenceSmoke|TestParallelMatMulSmoke' .
+
+echo "== bench regression gate =="
+# Ratio-normalized throughput gate: the batched path must keep at
+# least 90% of its committed speedup over the serial loop (compares
+# against the last entries in BENCH_inference.json; machine-independent
+# because both sides run on the same box).
+./scripts/bench_gate.sh
 
 echo "== kill-resume chaos =="
 # Training is killed at several injected fault points and resumed from
@@ -44,9 +52,9 @@ go test -run 'TestKillResume|TestStopResume|TestCheckpointTornWrite' -race ./int
 
 echo "== fuzz seed smoke =="
 # -run=Fuzz executes every fuzz target once per seed corpus entry,
-# without the fuzzing engine; crashes here mean a regressed parser or
-# model loader.
-go test -run=Fuzz ./internal/layout/ ./internal/gdsii/ ./internal/nn/
+# without the fuzzing engine; crashes here mean a regressed parser,
+# model loader, or quantizer.
+go test -run=Fuzz ./internal/layout/ ./internal/gdsii/ ./internal/nn/ ./internal/tensor/
 
 echo "== trace store race =="
 # The trace store and tail sampler are hit from every request

@@ -25,6 +25,7 @@ import (
 
 	hsd "github.com/golitho/hsd"
 	"github.com/golitho/hsd/internal/experiments"
+	"github.com/golitho/hsd/internal/nn"
 	"github.com/golitho/hsd/internal/trace"
 )
 
@@ -43,7 +44,13 @@ func run() error {
 	figBench := flag.String("bench", "", "benchmark for figures (default: first)")
 	noODST := flag.Bool("no-odst", false, "skip lithography verification of flagged clips")
 	traceOut := flag.String("trace", "", "write per-evaluation Chrome trace_event JSON to this file (about:tracing / ui.perfetto.dev)")
+	precFlag := flag.String("precision", "float64", "inference precision for the neural zoo detectors (float64, float32, int8); tables then measure the quantized serving path")
 	flag.Parse()
+
+	prec, err := nn.ParsePrecision(*precFlag)
+	if err != nil {
+		return err
+	}
 
 	suite, err := loadOrGenerate(*suitePath, *seed, *small)
 	if err != nil {
@@ -60,6 +67,24 @@ func run() error {
 	}
 
 	zoo := hsd.SurveyZoo(*seed)
+	if prec != nn.Float64 {
+		// Neural detectors remember the precision across Fit: training
+		// stays float64 and the network is compressed when it completes,
+		// so the tables measure the reduced-precision serving path.
+		for i := range zoo {
+			inner := zoo[i].New
+			zoo[i].New = func() hsd.Detector {
+				det := inner()
+				if nd, ok := det.(*hsd.NeuralDetector); ok {
+					if err := nd.SetPrecision(prec); err != nil {
+						fmt.Fprintf(os.Stderr, "hsdeval: %s: %v\n", nd.Name(), err)
+					}
+				}
+				return det
+			}
+		}
+		fmt.Printf("neural detectors serve at %s precision\n\n", prec)
+	}
 	ctx := context.Background()
 	var tracer *trace.Tracer
 	if *traceOut != "" {

@@ -73,7 +73,9 @@ import (
 	"github.com/golitho/hsd/internal/core"
 	"github.com/golitho/hsd/internal/lithosim"
 	"github.com/golitho/hsd/internal/nn"
+	"github.com/golitho/hsd/internal/registry"
 	"github.com/golitho/hsd/internal/serve"
+	"github.com/golitho/hsd/internal/tensor"
 	"github.com/golitho/hsd/internal/trace"
 )
 
@@ -157,11 +159,21 @@ func run() error {
 	maxFARRise := flag.Float64("max-far-rise", 0.05, "max golden-set false-alarm rate a reload candidate may add")
 	probation := flag.Int("probation", 200, "post-swap primary outcomes watched for automatic rollback (0: off)")
 	probationMaxFail := flag.Int("probation-max-failures", 5, "primary failures tolerated inside the probation window")
+	precFlag := flag.String("precision", "float64", "inference precision for a neural primary (float64, float32, int8); reduced precision must pass the golden-set tolerance gate before serving")
+	kernelWorkers := flag.Int("kernel-workers", 0, "total kernel-pool parallelism for batched inference and matmuls (0: GOMAXPROCS)")
 	readTimeout := flag.Duration("read-timeout", 15*time.Second, "max time to read a request")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "max time to write a response (covers /verify simulation)")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
 	flag.Parse()
+
+	prec, err := nn.ParsePrecision(*precFlag)
+	if err != nil {
+		return err
+	}
+	if *kernelWorkers > 0 {
+		tensor.SetDefaultWorkers(*kernelWorkers)
+	}
 
 	f, err := os.Open(*suitePath)
 	if err != nil {
@@ -198,9 +210,33 @@ func run() error {
 		}
 	}
 
+	golden := goldenSet(bench, *goldenN)
+
+	// Reduced-precision serving: compress the neural primary's network
+	// and refuse to serve unless the compressed model passes the same
+	// golden-set tolerance gate that guards hot reloads — compared
+	// against its own float64 original as the baseline.
+	if prec != nn.Float64 {
+		nd, ok := det.(*hsd.NeuralDetector)
+		if !ok {
+			return fmt.Errorf("-precision %s needs a neural primary; %s has no reduced-precision path", prec, det.Name())
+		}
+		baseline := nd.CloneDetector()
+		if err := nd.SetPrecision(prec); err != nil {
+			return err
+		}
+		verdict := registry.Gate(baseline, nd, golden, *maxRecallDrop, *maxFARRise, log.Printf)
+		if !verdict.OK {
+			return fmt.Errorf("refusing to serve at %s precision: %s", prec, verdict.Reason)
+		}
+		log.Printf("serving %s at %s precision (gate: %s)", det.Name(), prec, verdict)
+	}
+
 	// Hot reload: a neural primary can be swapped for a new network saved
 	// by hsdtrain. The registry gates each candidate on a golden subset
-	// of the benchmark's test split before it may serve.
+	// of the benchmark's test split before it may serve. A reloaded
+	// network inherits the primary's precision: WithNetwork recompresses,
+	// and the gate scores the candidate through its compressed path.
 	var reload *serve.ReloadOptions
 	if nd, ok := det.(*hsd.NeuralDetector); ok {
 		reload = &serve.ReloadOptions{
@@ -212,7 +248,7 @@ func run() error {
 				return nd.WithNetwork(net)
 			},
 			DefaultPath:          *modelWatch,
-			Golden:               goldenSet(bench, *goldenN),
+			Golden:               golden,
 			MaxRecallDrop:        *maxRecallDrop,
 			MaxFalseAlarmRise:    *maxFARRise,
 			ProbationRequests:    *probation,

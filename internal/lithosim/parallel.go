@@ -14,10 +14,10 @@ import (
 	"fmt"
 	"runtime"
 	"strconv"
-	"sync"
 
 	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/raster"
+	"github.com/golitho/hsd/internal/tensor"
 	"github.com/golitho/hsd/internal/trace"
 )
 
@@ -34,7 +34,8 @@ func (s *Simulator) cornerWorkers() int {
 	return w
 }
 
-// runIndexed fans fn(0..n-1) over up to `workers` goroutines and waits
+// runIndexed fans fn(0..n-1) over the persistent kernel pool
+// (tensor.Default) with at most `workers` concurrent shards and waits
 // for all of them. fn must confine itself to index-owned state.
 func runIndexed(workers, n int, fn func(i int)) {
 	if workers > n {
@@ -46,22 +47,11 @@ func runIndexed(workers, n int, fn func(i int)) {
 		}
 		return
 	}
-	jobs := make(chan int, n)
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	tensor.Default().Run(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
 }
 
 // firstErr returns the lowest-index non-nil error, making the reported

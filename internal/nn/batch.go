@@ -16,8 +16,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"github.com/golitho/hsd/internal/tensor"
 	"github.com/golitho/hsd/internal/trace"
@@ -59,8 +57,10 @@ const predictChunk = 32
 
 // PredictBatch scores many samples through the batched inference engine
 // and returns the per-sample hotspot probability, in input order.
-// Chunks of predictChunk rows are scored by up to `workers` goroutines
-// (workers <= 0 means GOMAXPROCS), each with a pooled scratch arena.
+// Chunks of predictChunk rows are sharded over the persistent kernel
+// pool (tensor.Default) with up to `workers` concurrent shards
+// (workers <= 0 means the pool's full width), each shard scoring its
+// chunks with a pooled scratch arena.
 //
 // Output is deterministic: identical inputs yield bit-identical scores
 // for any worker count, and identical to the serial Score path.
@@ -68,12 +68,18 @@ func PredictBatch(net *Network, x [][]float64, workers int) ([]float64, error) {
 	return PredictBatchCtx(context.Background(), net, x, workers)
 }
 
-// PredictBatchCtx is PredictBatch with trace attribution: the whole
-// pass runs under an "nn.batch" span, and each micro-batch emits an
-// "nn.arena" span (scratch reset + input staging) and an "nn.matmul"
-// span (the layer forward passes + softmax). Concurrent chunk spans
-// parent to the batch span and render as parallel lanes in the Chrome
-// export. With tracing disabled the added cost is nil-span no-ops.
+// PredictBatchCtx is PredictBatch with cancellation and trace
+// attribution: the whole pass runs under an "nn.batch" span, and each
+// micro-batch emits an "nn.arena" span (scratch reset + input staging)
+// and an "nn.matmul" span (the layer forward passes + softmax).
+// Concurrent chunk spans parent to the batch span and render as
+// parallel lanes in the Chrome export. With tracing disabled the added
+// cost is nil-span no-ops.
+//
+// Cancellation is observed at chunk boundaries: once ctx is done,
+// unstarted chunks are skipped and PredictBatchCtx returns ctx's error
+// with a nil result. In-flight chunks always finish first, so no
+// goroutine writes the output slice after return.
 func PredictBatchCtx(ctx context.Context, net *Network, x [][]float64, workers int) ([]float64, error) {
 	if len(x) == 0 {
 		return nil, nil
@@ -87,8 +93,9 @@ func PredictBatchCtx(ctx context.Context, net *Network, x [][]float64, workers i
 	if net.OutDim() != 2 {
 		return nil, fmt.Errorf("nn: PredictBatch needs a 2-logit head, got %d", net.OutDim())
 	}
+	pool := tensor.Default()
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = pool.Workers() + 1
 	}
 	nchunks := (len(x) + predictChunk - 1) / predictChunk
 	if workers > nchunks {
@@ -117,32 +124,21 @@ func PredictBatchCtx(ctx context.Context, net *Network, x [][]float64, workers i
 			out[start+i] = logits.At(i, 1)
 		}
 	}
-	if workers == 1 {
+	// One pool shard covers a contiguous run of chunks; each shard
+	// borrows a scratch arena for its lifetime. The pool's caller
+	// participation means workers==1 runs entirely inline here.
+	if err := pool.RunCtx(ctx, nchunks, workers, func(lo, hi int) {
 		ar := getArena()
-		for start := 0; start < len(x); start += predictChunk {
-			scoreChunk(ar, start)
-		}
-		putArena(ar)
-		return out, nil
-	}
-	starts := make(chan int, nchunks)
-	for start := 0; start < len(x); start += predictChunk {
-		starts <- start
-	}
-	close(starts)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ar := getArena()
-			defer putArena(ar)
-			for start := range starts {
-				scoreChunk(ar, start)
+		defer putArena(ar)
+		for ci := lo; ci < hi; ci++ {
+			if ctx.Err() != nil {
+				return
 			}
-		}()
+			scoreChunk(ar, ci*predictChunk)
+		}
+	}); err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	return out, nil
 }
 
@@ -190,62 +186,40 @@ func (b *BatchNorm) forwardInfer(x *tensor.Matrix, ar *Arena) *tensor.Matrix {
 	return out
 }
 
-// forwardInfer implements inferencer: im2col + matmul with all scratch
-// (cols, product) arena-backed and reused across samples.
+// forwardInfer implements inferencer via the tiled fused im2col+matmul
+// kernel (see fused.go): bands of output rows are gathered into a
+// bounded column tile and multiplied with the blocked kernel, so the
+// result is bit-identical to Forward's full-materialization im2col +
+// matmul while the scratch stays cache-sized.
 func (c *Conv2D) forwardInfer(x *tensor.Matrix, ar *Arena) *tensor.Matrix {
 	checkCols(c.Name(), c.InC*c.InH*c.InW, x.Cols)
-	oh, ow := c.OutH(), c.OutW()
+	g := c.geom()
 	out := ar.get(x.Rows, c.OutDim())
-	cols := ar.get(c.InC*c.K*c.K, oh*ow)
-	prod := ar.get(c.OutC, oh*ow)
+	klen := g.inC * g.k * g.k
+	rowsPer := convTileRows(g)
+	tpMax := rowsPer * g.ow
+	colsBuf := ar.get(klen, tpMax)
+	prodBuf := ar.get(g.outC, tpMax)
+	positions := g.oh * g.ow
 	for i := 0; i < x.Rows; i++ {
-		if i > 0 && c.Pad > 0 {
-			// Padded receptive-field cells are skipped by im2colInto and
-			// must read as zero from the previous sample's fill.
-			cols.Zero()
-		}
-		c.im2colInto(x.Row(i), cols)
-		tensor.MatMulInto(prod, c.W, cols)
-		dst := out.Row(i)
-		for oc := 0; oc < c.OutC; oc++ {
-			bias := c.B[oc]
-			src := prod.Row(oc)
-			base := oc * oh * ow
-			for p, v := range src {
-				dst[base+p] = v + bias
-			}
-		}
-	}
-	return out
-}
-
-// im2colInto is im2col writing into a caller-owned matrix whose
-// out-of-image cells are already zero.
-func (c *Conv2D) im2colInto(sample []float64, cols *tensor.Matrix) {
-	oh, ow := c.OutH(), c.OutW()
-	for ch := 0; ch < c.InC; ch++ {
-		chOff := ch * c.InH * c.InW
-		for ky := 0; ky < c.K; ky++ {
-			for kx := 0; kx < c.K; kx++ {
-				rowIdx := (ch*c.K+ky)*c.K + kx
-				dst := cols.Row(rowIdx)
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*c.Stride + ky - c.Pad
-					if iy < 0 || iy >= c.InH {
-						continue
-					}
-					srcRow := chOff + iy*c.InW
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*c.Stride + kx - c.Pad
-						if ix < 0 || ix >= c.InW {
-							continue
-						}
-						dst[oy*ow+ox] = sample[srcRow+ix]
-					}
+		sample, dst := x.Row(i), out.Row(i)
+		for oyA := 0; oyA < g.oh; oyA += rowsPer {
+			oyB := min(oyA+rowsPer, g.oh)
+			tp := (oyB - oyA) * g.ow
+			cols := tensor.Matrix{Rows: klen, Cols: tp, Data: colsBuf.Data[:klen*tp]}
+			prod := tensor.Matrix{Rows: g.outC, Cols: tp, Data: prodBuf.Data[:g.outC*tp]}
+			im2colTile(g, sample, oyA, oyB, cols.Data)
+			tensor.MatMulInto(&prod, c.W, &cols)
+			for oc := 0; oc < g.outC; oc++ {
+				bias := c.B[oc]
+				base := oc*positions + oyA*g.ow
+				for p, v := range prod.Row(oc) {
+					dst[base+p] = v + bias
 				}
 			}
 		}
 	}
+	return out
 }
 
 // forwardInfer implements inferencer: max pooling without argmax caches.

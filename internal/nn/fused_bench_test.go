@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/golitho/hsd/internal/tensor"
+)
+
+// Benchmarks comparing the tiled fused conv kernel against the
+// full-materialization im2col+matmul on the bench CNN's two conv
+// shapes. The "fused" sub-benchmark must stay at or below "im2col" —
+// this pair is how the direct-stencil formulation was caught being
+// ~2x slower before it was replaced (see the fused.go file comment).
+func benchConvLayer(b *testing.B, conv *Conv2D) {
+	rng := rand.New(rand.NewSource(41))
+	net := NewNetwork(conv)
+	net.Init(rng)
+	x := tensor.NewMatrix(32, conv.InC*conv.InH*conv.InW)
+	x.Randomize(rng, 1)
+	ar := NewArena()
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ar.Reset()
+			conv.forwardInfer(x, ar)
+		}
+	})
+	b.Run("im2col", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ar.Reset()
+			conv.forwardInferIm2col(x, ar)
+		}
+	})
+}
+
+// forwardInferIm2col is the pre-fusion inference path, kept in the
+// bench suite as the comparison baseline.
+func (c *Conv2D) forwardInferIm2col(x *tensor.Matrix, ar *Arena) *tensor.Matrix {
+	oh, ow := c.OutH(), c.OutW()
+	out := ar.get(x.Rows, c.OutDim())
+	cols := ar.get(c.InC*c.K*c.K, oh*ow)
+	prod := ar.get(c.OutC, oh*ow)
+	for i := 0; i < x.Rows; i++ {
+		if i > 0 && c.Pad > 0 {
+			cols.Zero()
+		}
+		c.im2colIntoBench(x.Row(i), cols)
+		tensor.MatMulInto(prod, c.W, cols)
+		dst := out.Row(i)
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.B[oc]
+			src := prod.Row(oc)
+			base := oc * oh * ow
+			for p, v := range src {
+				dst[base+p] = v + bias
+			}
+		}
+	}
+	return out
+}
+
+func (c *Conv2D) im2colIntoBench(sample []float64, cols *tensor.Matrix) {
+	oh, ow := c.OutH(), c.OutW()
+	for ch := 0; ch < c.InC; ch++ {
+		chOff := ch * c.InH * c.InW
+		for ky := 0; ky < c.K; ky++ {
+			for kx := 0; kx < c.K; kx++ {
+				rowIdx := (ch*c.K+ky)*c.K + kx
+				dst := cols.Row(rowIdx)
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.Stride + ky - c.Pad
+					if iy < 0 || iy >= c.InH {
+						continue
+					}
+					srcRow := chOff + iy*c.InW
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if ix < 0 || ix >= c.InW {
+							continue
+						}
+						dst[oy*ow+ox] = sample[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkConvKernel1(b *testing.B) {
+	benchConvLayer(b, NewConv2D(16, 16, 16, 24, 3, 1, 1))
+}
+
+func BenchmarkConvKernel2(b *testing.B) {
+	benchConvLayer(b, NewConv2D(24, 8, 8, 32, 3, 1, 1))
+}

@@ -195,10 +195,23 @@ func goldenStats(det core.Detector, clips []core.LabeledClip, scores []float64) 
 	return recall, far
 }
 
-// gate validates a candidate against the live model.
-func (r *Registry) gate(live, cand core.Detector) Verdict {
+// Gate validates a candidate detector against a live baseline on a
+// golden set: every candidate score must be finite, hotspot recall must
+// not drop more than maxRecallDrop below the live model's, and the
+// false-alarm rate must not rise more than maxFalseAlarmRise above it.
+// Scoring panics read as rejections. An empty golden set reduces the
+// gate to the sanity checks. logf (optional) receives gate notices.
+//
+// Besides hot reloads, this is the admission check for reduced-precision
+// serving: a float32/int8-compressed model is gated against its own
+// float64 original before the server will serve it.
+func Gate(live, cand core.Detector, golden []core.LabeledClip,
+	maxRecallDrop, maxFalseAlarmRise float64, logf func(format string, args ...any)) Verdict {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 	v := Verdict{LiveRecall: math.NaN(), CandRecall: math.NaN(), LiveFAR: math.NaN(), CandFAR: math.NaN()}
-	candScores, err := gateScores(cand, r.cfg.Golden)
+	candScores, err := gateScores(cand, golden)
 	if err != nil {
 		v.Reason = "candidate: " + err.Error()
 		return v
@@ -209,36 +222,42 @@ func (r *Registry) gate(live, cand core.Detector) Verdict {
 			return v
 		}
 	}
-	if len(r.cfg.Golden) == 0 {
+	if len(golden) == 0 {
 		v.OK = true
 		return v
 	}
-	liveScores, err := gateScores(live, r.cfg.Golden)
+	liveScores, err := gateScores(live, golden)
 	if err != nil {
 		// A live model that cannot score the goldens gives the gate no
 		// baseline; accept on candidate sanity alone rather than wedge
 		// reloads forever.
-		r.cfg.Logf("registry: live model failed golden scoring (%v); gating on sanity only", err)
+		logf("registry: live model failed golden scoring (%v); gating on sanity only", err)
 		v.OK = true
 		v.Reason = "no live baseline"
 		return v
 	}
-	v.LiveRecall, v.LiveFAR = goldenStats(live, r.cfg.Golden, liveScores)
-	v.CandRecall, v.CandFAR = goldenStats(cand, r.cfg.Golden, candScores)
+	v.LiveRecall, v.LiveFAR = goldenStats(live, golden, liveScores)
+	v.CandRecall, v.CandFAR = goldenStats(cand, golden, candScores)
 	if !math.IsNaN(v.LiveRecall) && !math.IsNaN(v.CandRecall) &&
-		v.CandRecall < v.LiveRecall-r.cfg.MaxRecallDrop {
+		v.CandRecall < v.LiveRecall-maxRecallDrop {
 		v.Reason = fmt.Sprintf("recall regression: %.3f -> %.3f (max drop %.3f)",
-			v.LiveRecall, v.CandRecall, r.cfg.MaxRecallDrop)
+			v.LiveRecall, v.CandRecall, maxRecallDrop)
 		return v
 	}
 	if !math.IsNaN(v.LiveFAR) && !math.IsNaN(v.CandFAR) &&
-		v.CandFAR > v.LiveFAR+r.cfg.MaxFalseAlarmRise {
+		v.CandFAR > v.LiveFAR+maxFalseAlarmRise {
 		v.Reason = fmt.Sprintf("false-alarm regression: %.3f -> %.3f (max rise %.3f)",
-			v.LiveFAR, v.CandFAR, r.cfg.MaxFalseAlarmRise)
+			v.LiveFAR, v.CandFAR, maxFalseAlarmRise)
 		return v
 	}
 	v.OK = true
 	return v
+}
+
+// gate validates a candidate against the live model with the registry's
+// configured golden set and drift bounds.
+func (r *Registry) gate(live, cand core.Detector) Verdict {
+	return Gate(live, cand, r.cfg.Golden, r.cfg.MaxRecallDrop, r.cfg.MaxFalseAlarmRise, r.cfg.Logf)
 }
 
 // ErrRejected wraps gate rejections so callers can map them to a

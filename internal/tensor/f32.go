@@ -1,0 +1,115 @@
+// Float32 kernels: the reduced-precision half of the inference fast
+// path. Matrix32 mirrors Matrix with float32 storage — half the memory
+// traffic of float64, which is what the cache-blocked kernels are
+// bounded by on wide shapes — and the same i-k-j accumulation contract,
+// so the parallel variant is bit-identical to the serial one.
+//
+// Float32 results are NOT bit-identical to the float64 kernels; models
+// that opt into the float32 inference path are gated by the quantization
+// tolerance harness (see internal/nn and internal/registry).
+
+package tensor
+
+import "fmt"
+
+// Matrix32 is a dense row-major float32 matrix.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix32 allocates a zeroed r x c float32 matrix.
+func NewMatrix32(r, c int) *Matrix32 {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", r, c))
+	}
+	return &Matrix32{Rows: r, Cols: c, Data: make([]float32, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix32) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *Matrix32) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// ToFloat32 converts a float64 matrix to a fresh Matrix32 (round to
+// nearest).
+func (m *Matrix) ToFloat32() *Matrix32 {
+	out := NewMatrix32(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = float32(v)
+	}
+	return out
+}
+
+// ToFloat64 widens to a fresh float64 Matrix (exact).
+func (m *Matrix32) ToFloat64() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = float64(v)
+	}
+	return out
+}
+
+func checkMatMul32Shapes(dst, a, b *Matrix32) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul32 shapes %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+}
+
+// MatMul32Into computes dst = a * b over float32; dst must be pre-sized
+// a.Rows x b.Cols. Same blocking and per-element accumulation order as
+// the float64 kernel (ascending k, left-associated), so row sharding
+// cannot change any bit.
+func MatMul32Into(dst, a, b *Matrix32) {
+	checkMatMul32Shapes(dst, a, b)
+	matMul32Rows(dst, a, b, 0, a.Rows)
+}
+
+// matMul32Rows computes rows [r0, r1) of dst = a * b, zeroing exactly
+// the rows it owns; the float32 twin of matMulRows.
+func matMul32Rows(dst, a, b *Matrix32, r0, r1 int) {
+	n := b.Cols
+	for i := r0; i < r1; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k0 := 0; k0 < a.Cols; k0 += mmBlockK {
+			k1 := min(k0+mmBlockK, a.Cols)
+			for j0 := 0; j0 < n; j0 += mmBlockJ {
+				j1 := min(j0+mmBlockJ, n)
+				dseg := drow[j0:j1]
+				w := len(dseg)
+				k := k0
+				for ; k+4 <= k1; k += 4 {
+					av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+					b0 := b.Data[k*n+j0 : k*n+j1][:w]
+					b1 := b.Data[(k+1)*n+j0 : (k+1)*n+j1][:w]
+					b2 := b.Data[(k+2)*n+j0 : (k+2)*n+j1][:w]
+					b3 := b.Data[(k+3)*n+j0 : (k+3)*n+j1][:w]
+					for j := range dseg {
+						s := dseg[j]
+						s += av0 * b0[j]
+						s += av1 * b1[j]
+						s += av2 * b2[j]
+						s += av3 * b3[j]
+						dseg[j] = s
+					}
+				}
+				for ; k < k1; k++ {
+					av := arow[k]
+					bseg := b.Data[k*n+j0 : k*n+j1][:w]
+					for j, bv := range bseg {
+						dseg[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzQuantRoundTrip feeds arbitrary byte strings — reinterpreted as
+// float64 rows, including NaN, ±Inf, subnormals, and signed zeros — to
+// the int8 quantizer and checks its invariants: the scale is finite and
+// non-negative, codes stay in [-127, 127], dequantization never emits
+// NaN or Inf, and every finite element round-trips within half a
+// quantization step.
+func FuzzQuantRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(1.0)))
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.NaN())))
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.Inf(1))))
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.MaxFloat64)))
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(5e-324)))
+	mixed := binary.LittleEndian.AppendUint64(nil, math.Float64bits(-3.5))
+	mixed = binary.LittleEndian.AppendUint64(mixed, math.Float64bits(math.Inf(-1)))
+	mixed = binary.LittleEndian.AppendUint64(mixed, math.Float64bits(0.25))
+	f.Add(mixed)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 8
+		if n > 4096 {
+			n = 4096
+		}
+		row := make([]float64, n)
+		for i := range row {
+			row[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+		codes := make([]int8, n)
+		scale := QuantizeRowInt8(codes, row)
+
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || scale < 0 {
+			t.Fatalf("bad scale %v for row %v", scale, row)
+		}
+		for i, q := range codes {
+			if q < -127 || q > 127 {
+				t.Fatalf("element %d: code %d outside symmetric range", i, q)
+			}
+			back := scale * float64(q)
+			if math.IsNaN(back) || math.IsInf(back, 0) {
+				t.Fatalf("element %d: %v dequantizes to %v (scale %v)", i, row[i], back, scale)
+			}
+			v := row[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue // coded as 0 / excluded from the scale; no bound applies
+			}
+			// scale==0 means the row had no finite nonzero values.
+			if scale == 0 {
+				if q != 0 {
+					t.Fatalf("element %d: nonzero code %d with zero scale", i, q)
+				}
+				continue
+			}
+			if err := math.Abs(back - v); err > scale/2+1e-12*scale {
+				t.Fatalf("element %d: %v -> %v, error %v exceeds scale/2 = %v", i, v, back, err, scale/2)
+			}
+		}
+	})
+}

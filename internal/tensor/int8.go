@@ -1,0 +1,166 @@
+// Int8 quantized kernels: the lowest tier of the inference fast path.
+//
+// Quantization is symmetric and per-row: row i of a float64 matrix is
+// stored as int8 codes q with one float64 scale s so that x ≈ s·q,
+// s = maxabs(row)/127. Codes saturate at ±127 (the -128 slot is unused,
+// keeping the scheme symmetric), NaN inputs code to 0 and non-finite
+// scales collapse to 0 — quantization never emits NaN or Inf.
+//
+// Products accumulate in int32, which is exact: |q| ≤ 127 bounds every
+// partial product by 127², so any accumulation order gives the same
+// integer — the int8 kernels are deterministic across batch size, worker
+// count, and sharding by construction. The int32 accumulator holds up to
+// MaxInt8DotLen terms before it could overflow; kernels panic beyond it.
+//
+// Int8 scores are NOT equal to the float64 path's; models that opt in
+// are gated by the quantization tolerance harness (internal/nn,
+// internal/registry).
+
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxInt8DotLen is the longest int8 dot product the int32 accumulator
+// provably cannot overflow: 127*127*2^17 < 2^31.
+const MaxInt8DotLen = 1 << 17
+
+// Int8Matrix is a dense row-major int8 matrix with one dequantization
+// scale per row: the float value of element (i, j) is Scale[i]*Data[i*Cols+j].
+type Int8Matrix struct {
+	Rows, Cols int
+	Data       []int8
+	Scale      []float64
+}
+
+// NewInt8Matrix allocates a zeroed r x c int8 matrix (all scales 0).
+func NewInt8Matrix(r, c int) *Int8Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", r, c))
+	}
+	return &Int8Matrix{Rows: r, Cols: c, Data: make([]int8, r*c), Scale: make([]float64, r)}
+}
+
+// Row returns a view of the codes of row i.
+func (m *Int8Matrix) Row(i int) []int8 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// quantizeCode maps x/scale to a saturated int8 code.
+func quantizeCode(v float64) int8 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v >= 127 {
+		return 127
+	}
+	if v <= -127 {
+		return -127
+	}
+	return int8(math.Round(v))
+}
+
+// QuantizeRowInt8 quantizes one float64 row into dst (len(row) codes)
+// and returns the scale. Empty rows, and rows whose finite magnitudes
+// all sit below 127·2^-1022 (all-zero, non-finite-dominated, or deep in
+// the subnormals), quantize to scale 0 with zero codes, so
+// dequantization is always finite. Any nonzero scale is a normal
+// float64 and bounds the per-element round-trip error by scale/2.
+func QuantizeRowInt8(dst []int8, row []float64) float64 {
+	if len(dst) < len(row) {
+		panic(fmt.Sprintf("tensor: quantize dst len %d < row len %d", len(dst), len(row)))
+	}
+	maxAbs := 0.0
+	for _, v := range row {
+		if a := math.Abs(v); a > maxAbs && !math.IsInf(a, 0) {
+			maxAbs = a
+		}
+	}
+	// A subnormal scale would overflow 1/scale and void the half-step
+	// error bound (its own rounding error is amplified by the code), so
+	// rows topping out below 127·2^-1022 are coded as zero outright.
+	if math.IsNaN(maxAbs) || maxAbs < 127*0x1p-1022 {
+		for j := range row {
+			dst[j] = 0
+		}
+		return 0
+	}
+	scale := maxAbs / 127
+	if math.IsInf(scale*127, 0) {
+		// maxAbs near MaxFloat64: the division rounded up far enough that
+		// dequantizing a saturated code would overflow. One ulp down pulls
+		// scale*127 back under MaxFloat64 (127 ulps of slack vs the at
+		// most 1-ulp excess) while moving every code by < 1e-13 relative.
+		scale = math.Nextafter(scale, 0)
+	}
+	inv := 1 / scale
+	for j, v := range row {
+		dst[j] = quantizeCode(v * inv)
+	}
+	return scale
+}
+
+// QuantizeRowsInt8 quantizes every row of m with its own scale.
+func QuantizeRowsInt8(m *Matrix) *Int8Matrix {
+	out := NewInt8Matrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		out.Scale[i] = QuantizeRowInt8(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// Dequantize expands the codes back to float64: scale[i] * code.
+func (m *Int8Matrix) Dequantize() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		s := m.Scale[i]
+		src, dst := m.Row(i), out.Row(i)
+		for j, q := range src {
+			dst[j] = s * float64(q)
+		}
+	}
+	return out
+}
+
+// Int8Dot is the exact int32 dot product of two equal-length int8 code
+// vectors; the building block of every int8 kernel. Panics when the
+// vectors disagree in length or exceed MaxInt8DotLen.
+func Int8Dot(a, b []int8) int32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: int8 dot lengths %d vs %d", len(a), len(b)))
+	}
+	if len(a) > MaxInt8DotLen {
+		panic(fmt.Sprintf("tensor: int8 dot length %d exceeds %d (int32 accumulator)", len(a), MaxInt8DotLen))
+	}
+	var s0, s1 int32
+	k := 0
+	for ; k+4 <= len(a); k += 4 {
+		s0 += int32(a[k])*int32(b[k]) + int32(a[k+1])*int32(b[k+1])
+		s1 += int32(a[k+2])*int32(b[k+2]) + int32(a[k+3])*int32(b[k+3])
+	}
+	for ; k < len(a); k++ {
+		s0 += int32(a[k]) * int32(b[k])
+	}
+	return s0 + s1
+}
+
+// Int8MatMulTransInto computes dst = A * Bᵀ over quantized operands:
+// A is m x k with per-row activation scales, bT is n x k with per-row
+// (i.e. per-output) weight scales, and dst must be pre-sized m x n
+// float64. dst[i][j] = A.Scale[i] * bT.Scale[j] * (qA[i] · qBT[j]).
+// Integer accumulation makes the result independent of evaluation
+// order, so callers may shard rows freely.
+func Int8MatMulTransInto(dst *Matrix, a, bT *Int8Matrix) {
+	if a.Cols != bT.Cols || dst.Rows != a.Rows || dst.Cols != bT.Rows {
+		panic(fmt.Sprintf("tensor: int8 matmul shapes %dx%d * (%dx%d)T -> %dx%d",
+			a.Rows, a.Cols, bT.Rows, bT.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		sa := a.Scale[i]
+		drow := dst.Row(i)
+		for j := 0; j < bT.Rows; j++ {
+			drow[j] = sa * bT.Scale[j] * float64(Int8Dot(arow, bT.Row(j)))
+		}
+	}
+}

@@ -105,6 +105,12 @@ func checkMatMulShapes(dst, a, b *Matrix) {
 // rows it owns. Each dst row is produced independently, which is what
 // lets ParallelMatMulInto shard rows across workers without changing any
 // result bit.
+//
+// The inner kernel is unrolled four deep in k with explicitly
+// left-associated adds: each dst element accumulates its terms in
+// strictly ascending k order, one at a time, exactly like the plain
+// i-k-j loop — so the unroll changes no result bit while amortizing the
+// dst load/store (the serial bottleneck) over four multiply-adds.
 func matMulRows(dst, a, b *Matrix, r0, r1 int) {
 	n := b.Cols
 	for i := r0; i < r1; i++ {
@@ -118,12 +124,26 @@ func matMulRows(dst, a, b *Matrix, r0, r1 int) {
 			for j0 := 0; j0 < n; j0 += mmBlockJ {
 				j1 := min(j0+mmBlockJ, n)
 				dseg := drow[j0:j1]
-				for k := k0; k < k1; k++ {
-					av := arow[k]
-					if av == 0 {
-						continue
+				w := len(dseg)
+				k := k0
+				for ; k+4 <= k1; k += 4 {
+					av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+					b0 := b.Data[k*n+j0 : k*n+j1][:w]
+					b1 := b.Data[(k+1)*n+j0 : (k+1)*n+j1][:w]
+					b2 := b.Data[(k+2)*n+j0 : (k+2)*n+j1][:w]
+					b3 := b.Data[(k+3)*n+j0 : (k+3)*n+j1][:w]
+					for j := range dseg {
+						s := dseg[j]
+						s += av0 * b0[j]
+						s += av1 * b1[j]
+						s += av2 * b2[j]
+						s += av3 * b3[j]
+						dseg[j] = s
 					}
-					bseg := b.Data[k*n+j0 : k*n+j1]
+				}
+				for ; k < k1; k++ {
+					av := arow[k]
+					bseg := b.Data[k*n+j0 : k*n+j1][:w]
 					for j, bv := range bseg {
 						dseg[j] += av * bv
 					}

@@ -1,0 +1,40 @@
+#!/bin/sh
+# scripts/bench_gate.sh — batched-throughput regression gate.
+#
+# Re-measures the serial per-sample scoring loop and the batched
+# inference engine (BenchmarkPredictBatch/serial-score and /batch-w1)
+# and compares the serial/batch speedup RATIO against the ratio of the
+# last committed entries in BENCH_inference.json. Comparing ratios
+# instead of raw ns/op makes the gate machine-independent: a slower box
+# slows both sides, but losing more than 10% of the batched path's
+# relative advantage over the serial loop fails the gate.
+set -eu
+cd "$(dirname "$0")/.."
+
+fresh=$(go test -timeout 10m -bench 'PredictBatch/(serial-score$|batch-w1$)' -benchtime 300ms -run XXX .)
+echo "$fresh" | grep '^Benchmark' || { echo "bench-gate: no benchmark output" >&2; exit 1; }
+
+now_serial=$(echo "$fresh" | awk '$1 ~ /PredictBatch\/serial-score(-[0-9]+)?$/ {print $3; exit}')
+now_batch=$(echo "$fresh" | awk '$1 ~ /PredictBatch\/batch-w1(-[0-9]+)?$/ {print $3; exit}')
+if [ -z "$now_serial" ] || [ -z "$now_batch" ]; then
+	echo "bench-gate: could not parse fresh benchmark output" >&2
+	exit 1
+fi
+
+base_serial=$(grep -o '"name":"BenchmarkPredictBatch/serial-score\(-[0-9]*\)\{0,1\}","ns_per_op":[0-9.e+]*' BENCH_inference.json | tail -1 | sed 's/.*ns_per_op"://')
+base_batch=$(grep -o '"name":"BenchmarkPredictBatch/batch-w1\(-[0-9]*\)\{0,1\}","ns_per_op":[0-9.e+]*' BENCH_inference.json | tail -1 | sed 's/.*ns_per_op"://')
+if [ -z "$base_serial" ] || [ -z "$base_batch" ]; then
+	echo "bench-gate: no committed baseline in BENCH_inference.json; run run_bench.sh to record one (gate skipped)"
+	exit 0
+fi
+
+awk -v ns="$now_serial" -v nb="$now_batch" -v bs="$base_serial" -v bb="$base_batch" 'BEGIN {
+	now = ns / nb
+	base = bs / bb
+	printf "bench-gate: serial/batch speedup now %.3fx, committed baseline %.3fx\n", now, base
+	if (now < base * 0.9) {
+		printf "bench-gate: FAIL — batched inference lost >10%% of its advantage over the serial loop\n"
+		exit 1
+	}
+	print "bench-gate: ok"
+}'
