@@ -50,6 +50,19 @@ echo "== kill-resume chaos =="
 # and optimizer state.
 go test -run 'TestKillResume|TestStopResume|TestCheckpointTornWrite' -race ./internal/nn/
 
+echo "== scan farm chaos =="
+# The shard coordinator is hammered with injected faults (errors,
+# panics, latency) and repeated kill-resume cycles over one journal;
+# findings must stay byte-identical to an uninterrupted serial scan
+# and the shared clip cache must hold under -race.
+go test -run 'TestChaosFarm' -race ./internal/scanfarm/
+
+echo "== scan smoke =="
+# End to end: hsdscan is SIGKILLed mid-scan with a journal attached,
+# then rerun with -resume; the stitched findings file must diff clean
+# against an uninterrupted scan of the same chip.
+./scripts/scan_smoke.sh
+
 echo "== fuzz seed smoke =="
 # -run=Fuzz executes every fuzz target once per seed corpus entry,
 # without the fuzzing engine; crashes here mean a regressed parser,

@@ -7,18 +7,30 @@
 //	hsdscan -suite suite.gob -bench B1 -detector AdaBoost -gen-edge 32768
 //	hsdscan -suite suite.gob -chip chip.glt -detector CNN-biased -verify
 //	hsdscan -suite suite.gob -trace scan.json   # per-window span timeline
+//	hsdscan -suite suite.gob -journal scan.journal            # crash-safe
+//	hsdscan -suite suite.gob -journal scan.journal -resume    # pick up
+//
+// The scan runs through the fault-tolerant shard coordinator: the chip
+// is tiled into row-band shards fanned out to -workers goroutines, a
+// failing shard is retried with backoff and quarantined (reported, not
+// fatal) after exhausting its attempts, and repeated geometry is
+// answered from a content-addressed clip cache (-cache-size). With
+// -journal each completed shard is persisted, so a killed scan rerun
+// with -resume skips finished shards and produces identical findings.
 //
 // -trace writes the scan as a Chrome trace_event JSON file: one
-// "hsdscan" root span with a "scan.window" span per window and the
+// "hsdscan" root span with a "scan.shard" span per shard and the
 // raster/features/inference stages nested inside each. Load it in
 // about:tracing or https://ui.perfetto.dev.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -45,7 +57,17 @@ func run() error {
 	topN := flag.Int("top", 20, "print at most this many findings")
 	metrics := flag.Bool("metrics", false, "print scan telemetry snapshot after scanning")
 	traceOut := flag.String("trace", "", "write the scan as Chrome trace_event JSON to this file (about:tracing / ui.perfetto.dev)")
+	workers := flag.Int("workers", 0, "scan worker goroutines (0 = GOMAXPROCS)")
+	shardRows := flag.Int("shard-rows", 0, "window-grid rows per shard (0 = default)")
+	journalPath := flag.String("journal", "", "persist completed shards to this journal file for crash-safe resume")
+	resume := flag.Bool("resume", false, "resume from -journal, skipping shards it records")
+	cacheSize := flag.Int("cache-size", 4096, "content-addressed clip cache capacity in entries (0 disables)")
+	findingsOut := flag.String("findings", "", "write findings deterministically, one per line, to this file")
 	flag.Parse()
+
+	if *resume && *journalPath == "" {
+		return fmt.Errorf("-resume requires -journal")
+	}
 
 	f, err := os.Open(*suitePath)
 	if err != nil {
@@ -124,14 +146,62 @@ func run() error {
 		ctx, root = trace.Start(ctx, "hsdscan",
 			trace.A("detector", det.Name()), trace.A("chip", chip.Name))
 	}
+	farmCfg := hsd.ScanFarmConfig{
+		SkipEmpty: true,
+		Workers:   *workers,
+		ShardRows: *shardRows,
+		CacheSize: *cacheSize,
+		Metrics:   reg,
+	}
+	if *journalPath != "" {
+		meta := farmCfg.Meta(chip, det.Name())
+		var j *hsd.ScanJournal
+		if *resume {
+			var completed map[int]hsd.ScanShardRecord
+			j, completed, err = hsd.ResumeScanJournal(*journalPath, meta)
+			if err != nil {
+				return fmt.Errorf("resume %s: %w", *journalPath, err)
+			}
+			farmCfg.Completed = completed
+			fmt.Printf("resuming from %s: %d shards already journaled\n",
+				*journalPath, len(completed))
+		} else {
+			j, err = hsd.CreateScanJournal(*journalPath, meta)
+			if err != nil {
+				return err
+			}
+		}
+		defer j.Close()
+		farmCfg.Journal = j
+	}
 	t1 := time.Now()
-	res, err := hsd.ScanContext(ctx, chip, det, hsd.ScanConfig{SkipEmpty: true, Metrics: reg})
+	res, err := hsd.ScanFarm(ctx, chip, det, farmCfg)
 	root.End()
 	if err != nil {
 		return err
 	}
 	findings := res.Findings
 	fmt.Printf("scan flagged %d windows in %v\n", len(findings), time.Since(t1).Round(time.Millisecond))
+	fmt.Printf("shards: %d done (%d resumed from journal), %d quarantined, %d windows\n",
+		res.Completed, res.Resumed, len(res.Quarantined), res.Windows)
+	for _, q := range res.Quarantined {
+		fmt.Printf("QUARANTINED shard %d bounds=%v after %d attempts: %s\n",
+			q.ShardID, q.Bounds, q.Attempts, q.Err)
+	}
+	if *cacheSize > 0 {
+		st := res.Cache
+		fmt.Printf("clip cache: %d hits, %d misses, %d evictions (hit rate %.1f%%)\n",
+			st.Hits, st.Misses, st.Evictions, 100*st.HitRate())
+	}
+	if res.Interrupted {
+		fmt.Printf("scan interrupted (%v); journaled shards can be resumed with -resume\n", res.Cause)
+	}
+	if *findingsOut != "" {
+		if err := writeFindings(*findingsOut, findings); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d findings to %s\n", len(findings), *findingsOut)
+	}
 	if tracer != nil {
 		if err := writeChromeTrace(*traceOut, tracer); err != nil {
 			return err
@@ -187,6 +257,27 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// writeFindings dumps findings one per line in scan order. The format
+// is deterministic — integer centers and shortest round-trip float
+// scores — so two runs over the same chip diff clean; the resume smoke
+// test relies on that.
+func writeFindings(path string, findings []hsd.Finding) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, fd := range findings {
+		fmt.Fprintf(w, "%d %d %s\n", fd.Center.X, fd.Center.Y,
+			strconv.FormatFloat(fd.Score, 'g', -1, 64))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeChromeTrace dumps every trace the tracer retained as one Chrome

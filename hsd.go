@@ -39,6 +39,7 @@ import (
 	"github.com/golitho/hsd/internal/opc"
 	"github.com/golitho/hsd/internal/pm"
 	"github.com/golitho/hsd/internal/raster"
+	"github.com/golitho/hsd/internal/scanfarm"
 	"github.com/golitho/hsd/internal/svm"
 	"github.com/golitho/hsd/internal/telemetry"
 )
@@ -313,6 +314,53 @@ func Scan(chip *Layout, det Detector, cfg ScanConfig) ([]Finding, error) {
 // recording why.
 func ScanContext(ctx context.Context, chip *Layout, det Detector, cfg ScanConfig) (ScanResult, error) {
 	return core.ScanCtx(ctx, chip, det, cfg)
+}
+
+// Fault-tolerant distributed scanning (internal/scanfarm): the shard
+// coordinator behind `hsdscan -workers/-journal/-resume/-cache-size`.
+type (
+	// ScanFarmConfig tunes the shard coordinator: window geometry,
+	// worker pool, per-shard retry/quarantine policy, clip cache, and
+	// the resumable journal.
+	ScanFarmConfig = scanfarm.Config
+	// ScanFarmResult is the deterministically merged outcome, including
+	// quarantined shards and clip-cache statistics.
+	ScanFarmResult = scanfarm.Result
+	// ScanQuarantine describes one poison shard the scan gave up on.
+	ScanQuarantine = scanfarm.Quarantine
+	// ScanJournal is the framed-CRC32 append-only record of completed
+	// shards behind resumable scans.
+	ScanJournal = scanfarm.Journal
+	// ScanJournalMeta binds a journal file to one specific scan.
+	ScanJournalMeta = scanfarm.Meta
+	// ScanShardRecord is one journaled shard outcome.
+	ScanShardRecord = scanfarm.ShardRecord
+	// ClipCacheStats snapshots content-addressed clip-cache
+	// effectiveness.
+	ClipCacheStats = scanfarm.CacheStats
+	// ClipFingerprint is the translation-invariant content hash keying
+	// the clip cache.
+	ClipFingerprint = layout.Fingerprint
+)
+
+// ScanFarm scans the chip through the fault-tolerant shard coordinator:
+// deterministic findings regardless of schedule, poison shards
+// quarantined instead of failing the run, resumable via the journal,
+// and repeated geometry answered from the clip cache. Use it instead of
+// Scan/ScanContext when a partial failure must not discard the run.
+func ScanFarm(ctx context.Context, chip *Layout, det Detector, cfg ScanFarmConfig) (ScanFarmResult, error) {
+	return scanfarm.Run(ctx, chip, det, cfg)
+}
+
+// CreateScanJournal starts a fresh scan journal at path.
+func CreateScanJournal(path string, meta ScanJournalMeta) (*ScanJournal, error) {
+	return scanfarm.CreateJournal(path, meta)
+}
+
+// ResumeScanJournal validates and reopens a scan journal, returning the
+// intact shard records to pass as ScanFarmConfig.Completed.
+func ResumeScanJournal(path string, meta ScanJournalMeta) (*ScanJournal, map[int]ScanShardRecord, error) {
+	return scanfarm.ResumeJournal(path, meta)
 }
 
 // Operational telemetry.

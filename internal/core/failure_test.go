@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"github.com/golitho/hsd/internal/geom"
@@ -122,5 +123,42 @@ func TestScanStrideCoversChip(t *testing.T) {
 		if !hit {
 			t.Fatalf("mark %v not covered by any flagged window", m)
 		}
+	}
+}
+
+// panicDetector panics on clips overlapping Bad, the worst-case failure
+// mode of a buggy detector: without window-boundary recovery it would
+// kill the whole scan process.
+type panicDetector struct {
+	Bad geom.Rect
+}
+
+func (p *panicDetector) Name() string                  { return "panic" }
+func (p *panicDetector) Fit(train []LabeledClip) error { return nil }
+func (p *panicDetector) Threshold() float64            { return 0.5 }
+func (p *panicDetector) Score(clip layout.Clip) (float64, error) {
+	if clip.Window.Overlaps(p.Bad) {
+		panic("poison window")
+	}
+	return 0, nil
+}
+
+func TestScanIsolatesDetectorPanic(t *testing.T) {
+	chip := layout.New("chip")
+	if err := chip.AddRect(geom.R(0, 0, 4096, 96)); err != nil {
+		t.Fatal(err)
+	}
+	det := &panicDetector{Bad: geom.R(2000, 0, 2100, 100)}
+	_, err := Scan(chip, det, ScanConfig{Workers: 3})
+	if err == nil {
+		t.Fatal("scan swallowed a detector panic")
+	}
+	if !strings.Contains(err.Error(), "detector panic") {
+		t.Fatalf("error %v does not identify the panic", err)
+	}
+	// The offending window must be identifiable from the error alone:
+	// the panicking window's center coordinates are attached.
+	if !strings.Contains(err.Error(), "at (") {
+		t.Fatalf("error %v lacks window coordinates", err)
 	}
 }

@@ -197,6 +197,23 @@ func Scan(chip *layout.Layout, det Detector, cfg ScanConfig) ([]Finding, error) 
 	return out, nil
 }
 
+// scoreWindowSafe scores one window with panic isolation: a panicking
+// detector (or an armed ScanScoreSite panic fault) fails the window
+// with an error instead of crashing the whole scan. The caller attaches
+// the window index and center when it propagates the error, so a poison
+// window is identifiable from the failure alone.
+func scoreWindowSafe(ctx context.Context, d Detector, clip layout.Clip) (score float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("detector panic: %v", r)
+		}
+	}()
+	if err := faultinject.Hit(ScanScoreSite); err != nil {
+		return 0, err
+	}
+	return ScoreClipCtx(ctx, d, clip)
+}
+
 // ScanCtx is the context-aware Scan: it honors cancellation and
 // deadlines, returning the partial findings gathered so far with an
 // explicit Interrupted marker instead of an error. Findings are in
@@ -299,15 +316,8 @@ func ScanCtx(ctx context.Context, chip *layout.Layout, det Detector, cfg ScanCon
 					done()
 					continue
 				}
-				if err := faultinject.Hit(ScanScoreSite); err != nil {
-					errs[i] = err
-					wsp.SetError(err)
-					mets.window(0, false, false, false, true)
-					done()
-					continue
-				}
 				scoreStart := time.Now()
-				score, err := ScoreClipCtx(wctx, d, clip)
+				score, err := scoreWindowSafe(wctx, d, clip)
 				scoreTime := time.Since(scoreStart)
 				if err != nil {
 					errs[i] = err

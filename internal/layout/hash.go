@@ -1,0 +1,86 @@
+// Content-addressed clip fingerprinting.
+//
+// Real layouts are dominated by repeated standard-cell geometry, so the
+// same clip contents recur across a full-chip scan at different
+// absolute positions. Fingerprint canonicalizes a clip to a
+// position-independent byte encoding and hashes it, giving scan caches
+// a key under which translated copies of the same geometry collide on
+// purpose — and nothing else collides in practice (128 bits of
+// SHA-256).
+
+package layout
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"github.com/golitho/hsd/internal/geom"
+)
+
+// Fingerprint is a 128-bit content hash of a clip's canonical geometry.
+// Two clips that differ only by translation share a fingerprint; clips
+// with different window size, core geometry, or shapes do not (up to
+// SHA-256 collisions, which no test corpus will produce).
+type Fingerprint [16]byte
+
+// String returns the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// fingerprintMagic versions the canonical encoding; bump it if the
+// encoding changes so persisted caches cannot mix schemes.
+var fingerprintMagic = []byte("HSDCFP1\n")
+
+// Fingerprint returns the translation-invariant content hash of the
+// clip: shapes are translated so Window.Min becomes the origin, sorted
+// into a canonical order, and hashed together with the window extent
+// and the core rectangle's window-relative position.
+//
+// The shape sort makes the hash independent of insertion order, so two
+// clips extracted from layouts that drew the same geometry in different
+// order still match.
+func (c Clip) Fingerprint() Fingerprint {
+	d := geom.Pt(-c.Window.Min.X, -c.Window.Min.Y)
+	shapes := make([]geom.Rect, len(c.Shapes))
+	for i, s := range c.Shapes {
+		shapes[i] = s.Translate(d)
+	}
+	sort.Slice(shapes, func(i, j int) bool { return rectLess(shapes[i], shapes[j]) })
+
+	h := sha256.New()
+	h.Write(fingerprintMagic)
+	var buf [8 * 4]byte
+	putRect := func(r geom.Rect) {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(int64(r.Min.X)))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(int64(r.Min.Y)))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(int64(r.Max.X)))
+		binary.LittleEndian.PutUint64(buf[24:], uint64(int64(r.Max.Y)))
+		h.Write(buf[:])
+	}
+	putRect(c.Window.Translate(d))
+	putRect(c.Core.Translate(d))
+	binary.LittleEndian.PutUint64(buf[:8], uint64(len(shapes)))
+	h.Write(buf[:8])
+	for _, s := range shapes {
+		putRect(s)
+	}
+	var out Fingerprint
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// rectLess orders rectangles lexicographically by (MinY, MinX, MaxY,
+// MaxX), the canonical shape order of the fingerprint encoding.
+func rectLess(a, b geom.Rect) bool {
+	if a.Min.Y != b.Min.Y {
+		return a.Min.Y < b.Min.Y
+	}
+	if a.Min.X != b.Min.X {
+		return a.Min.X < b.Min.X
+	}
+	if a.Max.Y != b.Max.Y {
+		return a.Max.Y < b.Max.Y
+	}
+	return a.Max.X < b.Max.X
+}

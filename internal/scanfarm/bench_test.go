@@ -1,0 +1,55 @@
+package scanfarm
+
+import (
+	"context"
+	"testing"
+
+	"github.com/golitho/hsd/internal/core"
+	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/raster"
+)
+
+// The scan-throughput benchmark pair behind run_bench.sh chunk F
+// (BENCH_scan.json): the same repeated-standard-cell chip scanned cold
+// (no cache: every window runs the detector) and warm (content
+// addressed cache: repeated geometry answered by hash lookup). The
+// ratio is the cache's compute-bound → hash-bound win on repetitive
+// layouts.
+
+func benchChip(b *testing.B) *layout.Layout { return cellChip(b, 12) }
+
+// rasterDetector pays a realistic per-window cost — a full 128x128
+// area-accurate rasterization, the front half of every image-based
+// extractor — so the bench reflects what a cache hit actually saves.
+type rasterDetector struct{ thr float64 }
+
+func (d rasterDetector) Name() string                 { return "raster" }
+func (d rasterDetector) Fit([]core.LabeledClip) error { return nil }
+func (d rasterDetector) Threshold() float64           { return d.thr }
+func (d rasterDetector) Score(c layout.Clip) (float64, error) {
+	im, err := raster.Rasterize(raster.Config{Window: c.Window, PixelNM: 8}, c.Shapes)
+	if err != nil {
+		return 0, err
+	}
+	return im.Sum() / float64(im.W*im.H), nil
+}
+
+func benchScan(b *testing.B, cacheSize int) {
+	chip := benchChip(b)
+	det := rasterDetector{thr: 0.1}
+	cfg := Config{SkipEmpty: true, Workers: 2, ShardRows: 2, CacheSize: cacheSize}
+	var findings []core.Finding
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), chip, det, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings = res.Findings
+	}
+	_ = findings
+}
+
+func BenchmarkScanFarmColdCache(b *testing.B) { benchScan(b, 0) }
+
+func BenchmarkScanFarmWarmCache(b *testing.B) { benchScan(b, 1<<16) }

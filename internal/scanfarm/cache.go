@@ -1,0 +1,120 @@
+// The content-addressed clip cache: canonical geometry fingerprint →
+// detector verdict, LRU-bounded.
+//
+// Real layouts are dominated by repeated standard-cell patterns (the
+// observation behind pattern-matching detectors), so a full-chip scan
+// re-scores the same canonical geometry over and over. Answering those
+// windows from a hash lookup before any detector runs turns the scan
+// from compute-bound to hash-bound on repetitive regions. Correctness
+// rests on the scorer being a pure function of the canonical clip: the
+// coordinator always scores the origin-translated clip, so a hit and a
+// recompute produce the identical verdict by construction.
+
+package scanfarm
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/golitho/hsd/internal/layout"
+)
+
+// ClipCache is a concurrency-safe LRU map from canonical clip
+// fingerprints to detector scores.
+type ClipCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[layout.Fingerprint]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key   layout.Fingerprint
+	score float64
+}
+
+// NewClipCache returns a cache bounded to max entries (minimum 1).
+func NewClipCache(max int) *ClipCache {
+	if max < 1 {
+		max = 1
+	}
+	return &ClipCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[layout.Fingerprint]*list.Element, max),
+	}
+}
+
+// Get returns the cached score for key, marking it most recently used.
+func (c *ClipCache) Get(key layout.Fingerprint) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).score, true
+}
+
+// Put stores the score for key, evicting the least recently used entry
+// when full. It reports whether an eviction happened. Concurrent
+// workers may race to Put the same key; the scores are identical (pure
+// function of the key), so last-write-wins is harmless.
+func (c *ClipCache) Put(key layout.Fingerprint, score float64) (evicted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).score = score
+		c.ll.MoveToFront(el)
+		return false
+	}
+	if c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+		evicted = true
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, score: score})
+	return evicted
+}
+
+// Len returns the current entry count.
+func (c *ClipCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Size, Capacity          int
+}
+
+// HitRate returns hits / (hits + misses), 0 when the cache was never
+// consulted.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats snapshots the cache counters.
+func (c *ClipCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Capacity:  c.max,
+	}
+}

@@ -1,0 +1,87 @@
+package scanfarm
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+)
+
+func fpOf(n int) layout.Fingerprint {
+	return layout.Clip{
+		Window: geom.R(0, 0, 1024, 1024),
+		Core:   geom.R(256, 256, 768, 768),
+		Shapes: []geom.Rect{geom.R(0, 0, n+1, n+1)},
+	}.Fingerprint()
+}
+
+func TestClipCacheLRU(t *testing.T) {
+	c := NewClipCache(2)
+	a, b, d := fpOf(1), fpOf(2), fpOf(3)
+	c.Put(a, 0.1)
+	c.Put(b, 0.2)
+	if _, ok := c.Get(a); !ok {
+		t.Fatal("a missing")
+	}
+	// b is now least-recently used; inserting d evicts it.
+	if evicted := c.Put(d, 0.3); !evicted {
+		t.Fatal("no eviction at capacity")
+	}
+	if _, ok := c.Get(b); ok {
+		t.Fatal("b survived eviction; LRU order broken")
+	}
+	if v, ok := c.Get(a); !ok || v != 0.1 {
+		t.Fatalf("a = %v, %v", v, ok)
+	}
+	if v, ok := c.Get(d); !ok || v != 0.3 {
+		t.Fatalf("d = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("hits/misses %+v", st)
+	}
+}
+
+func TestClipCacheUpdateDoesNotEvict(t *testing.T) {
+	c := NewClipCache(2)
+	a, b := fpOf(1), fpOf(2)
+	c.Put(a, 0.1)
+	c.Put(b, 0.2)
+	if evicted := c.Put(a, 0.1); evicted {
+		t.Fatal("re-put of a present key evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestClipCacheConcurrent(t *testing.T) {
+	c := NewClipCache(32)
+	keys := make([]layout.Fingerprint, 64)
+	for i := range keys {
+		keys[i] = fpOf(i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := keys[(i*7+w)%len(keys)]
+				if v, ok := c.Get(k); ok && v != float64((i*7+w)%len(keys)) {
+					t.Errorf("cache returned %v for key %d", v, (i*7+w)%len(keys))
+					return
+				}
+				c.Put(k, float64((i*7+w)%len(keys)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

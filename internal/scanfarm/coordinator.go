@@ -1,0 +1,442 @@
+// The shard coordinator: fans deterministic shards out to a pool of
+// in-process scan workers and survives everything short of losing the
+// journal — worker panics, failing detectors, stuck windows (deadline
+// budget), and process death (resume).
+//
+// Failure containment is layered per worker and per shard:
+//
+//   - panic isolation: a detector panic is recovered at the window
+//     boundary and surfaces as that window's error;
+//   - retry: a failed shard attempt is retried with jittered
+//     exponential backoff up to MaxAttempts;
+//   - quarantine: a shard that exhausts its attempts is recorded as
+//     quarantined — with its bounds and last error — and the scan
+//     continues, so one poison window costs its shard, not the run;
+//   - breaker: each worker carries a circuit breaker over its attempt
+//     outcomes; a worker seeing consecutive failures pauses for the
+//     cool-down instead of hammering (and instead of burning healthy
+//     shards' attempts while sick).
+//
+// Run cancellation (ctx) is not a failure: in-flight shards stop, the
+// journal keeps every durable record, and a later Run with Completed
+// from LoadJournal finishes the rest with byte-identical findings.
+
+package scanfarm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/golitho/hsd/internal/core"
+	"github.com/golitho/hsd/internal/faultinject"
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/resilience"
+	"github.com/golitho/hsd/internal/telemetry"
+	"github.com/golitho/hsd/internal/trace"
+)
+
+// Fault-injection sites for chaos tests.
+const (
+	// ShardAttemptSite fires at the start of every shard attempt.
+	ShardAttemptSite = "scanfarm.shard.attempt"
+	// WindowScoreSite fires before each window score (cache misses
+	// only: a cache hit never runs the detector). Panics armed here are
+	// recovered at the window boundary like detector panics.
+	WindowScoreSite = "scanfarm.window.score"
+)
+
+// Quarantine describes one poison shard the scan gave up on.
+type Quarantine struct {
+	ShardID  int
+	Bounds   geom.Rect
+	Attempts int
+	Err      string
+}
+
+// Result is the outcome of a scan-farm run.
+type Result struct {
+	// Findings are the flagged windows of every completed shard, in
+	// deterministic order: ascending shard ID, then window-enumeration
+	// order within the shard. With the default row-band sharding this
+	// equals the global row-major window order.
+	Findings []core.Finding
+	// Shards is the plan's shard count; Windows the plan's window count.
+	Shards, Windows int
+	// Completed counts shards finished (this run plus resumed).
+	Completed int
+	// Resumed counts shards skipped because Completed records covered
+	// them.
+	Resumed int
+	// Quarantined lists poison shards in ascending shard ID order.
+	Quarantined []Quarantine
+	// Interrupted is set when ctx was cancelled before every shard
+	// reached a terminal state; Cause is the context error.
+	Interrupted bool
+	Cause       error
+	// Cache is the clip-cache snapshot (zero when the cache is off).
+	Cache CacheStats
+}
+
+// farmMetrics bundles the coordinator's telemetry; nil disables it.
+type farmMetrics struct {
+	shardsDone        *telemetry.Counter // scan_shards_total{state="done"}
+	shardsQuarantined *telemetry.Counter // scan_shards_total{state="quarantined"}
+	shardsResumed     *telemetry.Counter // scan_shards_total{state="resumed"}
+	attempts          *telemetry.Counter // scan_shard_attempts_total
+	retries           *telemetry.Counter // scan_shard_retries_total
+	cacheHits         *telemetry.Counter // scan_cache_hits_total
+	cacheMisses       *telemetry.Counter // scan_cache_misses_total
+	cacheEvictions    *telemetry.Counter // scan_cache_evictions_total
+	shardSeconds      *telemetry.Histogram
+}
+
+func newFarmMetrics(reg *telemetry.Registry) *farmMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.SetHelp("scan_shards_total", "Shards by terminal state (done, quarantined, resumed).")
+	reg.SetHelp("scan_shard_attempts_total", "Shard scan attempts, including retries.")
+	reg.SetHelp("scan_shard_retries_total", "Shard attempts beyond each shard's first.")
+	reg.SetHelp("scan_cache_hits_total", "Windows answered by the content-addressed clip cache.")
+	reg.SetHelp("scan_cache_misses_total", "Windows that missed the clip cache and ran the detector.")
+	reg.SetHelp("scan_cache_evictions_total", "Clip-cache LRU evictions.")
+	reg.SetHelp("scan_shard_seconds", "Per-shard wall time of successful attempts.")
+	return &farmMetrics{
+		shardsDone:        reg.Counter("scan_shards_total", telemetry.L("state", "done")),
+		shardsQuarantined: reg.Counter("scan_shards_total", telemetry.L("state", "quarantined")),
+		shardsResumed:     reg.Counter("scan_shards_total", telemetry.L("state", "resumed")),
+		attempts:          reg.Counter("scan_shard_attempts_total"),
+		retries:           reg.Counter("scan_shard_retries_total"),
+		cacheHits:         reg.Counter("scan_cache_hits_total"),
+		cacheMisses:       reg.Counter("scan_cache_misses_total"),
+		cacheEvictions:    reg.Counter("scan_cache_evictions_total"),
+		shardSeconds:      reg.Histogram("scan_shard_seconds", nil),
+	}
+}
+
+func (m *farmMetrics) shard(state ShardState) {
+	if m == nil {
+		return
+	}
+	if state == ShardQuarantined {
+		m.shardsQuarantined.Inc()
+	} else {
+		m.shardsDone.Inc()
+	}
+}
+
+func (m *farmMetrics) attempt(n int) {
+	if m == nil {
+		return
+	}
+	m.attempts.Inc()
+	if n > 1 {
+		m.retries.Inc()
+	}
+}
+
+func (m *farmMetrics) cache(hit, evicted bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.cacheHits.Inc()
+	} else {
+		m.cacheMisses.Inc()
+	}
+	if evicted {
+		m.cacheEvictions.Inc()
+	}
+}
+
+// Run scans the chip through the shard coordinator and returns the
+// deterministically merged findings. See the package comment for the
+// failure-containment contract. Unlike core.Scan, a failing window
+// never aborts the run: it fails its shard, which retries and is
+// eventually quarantined.
+func Run(ctx context.Context, chip *layout.Layout, det core.Detector, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	plan := NewPlan(chip.Bounds(), cfg)
+	res := Result{Shards: plan.NumShards, Windows: plan.Windows()}
+	if plan.NumShards == 0 {
+		return res, nil
+	}
+	mets := newFarmMetrics(cfg.Metrics)
+	var cache *ClipCache
+	if cfg.CacheSize > 0 {
+		cache = NewClipCache(cfg.CacheSize)
+	}
+
+	records := make([]*ShardRecord, plan.NumShards)
+	var todo []int
+	for id := 0; id < plan.NumShards; id++ {
+		if rec, ok := cfg.Completed[id]; ok {
+			r := rec
+			records[id] = &r
+			res.Resumed++
+			if mets != nil {
+				mets.shardsResumed.Inc()
+			}
+			continue
+		}
+		todo = append(todo, id)
+	}
+
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex // records, journal order, progress
+		done       = res.Resumed
+		journalErr error
+	)
+	finish := func(rec *ShardRecord) {
+		mu.Lock()
+		defer mu.Unlock()
+		records[rec.ShardID] = rec
+		if cfg.Journal != nil && journalErr == nil {
+			journalErr = cfg.Journal.Append(*rec)
+		}
+		done++
+		if cfg.Progress != nil {
+			cfg.Progress(done, plan.NumShards)
+		}
+	}
+
+	jobs := make(chan int)
+	for w := 0; w < cfg.Workers; w++ {
+		d := det
+		if c, ok := det.(core.Cloner); ok {
+			d = c.CloneDetector()
+		}
+		wg.Add(1)
+		go func(d core.Detector) {
+			defer wg.Done()
+			wk := &worker{
+				chip:    chip,
+				det:     d,
+				plan:    plan,
+				cfg:     cfg,
+				breaker: resilience.NewBreaker(cfg.Breaker),
+				cache:   cache,
+				mets:    mets,
+			}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case id, ok := <-jobs:
+					if !ok {
+						return
+					}
+					if rec := wk.runShard(ctx, id); rec != nil {
+						finish(rec)
+					}
+				}
+			}
+		}(d)
+	}
+dispatch:
+	for _, id := range todo {
+		select {
+		case jobs <- id:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if journalErr != nil {
+		return Result{}, fmt.Errorf("scanfarm: journal append: %w", journalErr)
+	}
+	for id, rec := range records {
+		if rec == nil {
+			continue // unprocessed: run was cancelled
+		}
+		res.Completed++
+		switch rec.State {
+		case ShardQuarantined:
+			res.Quarantined = append(res.Quarantined, Quarantine{
+				ShardID:  id,
+				Bounds:   plan.ShardBounds(id),
+				Attempts: rec.Attempts,
+				Err:      rec.Err,
+			})
+		default:
+			res.Findings = append(res.Findings, rec.Findings...)
+		}
+	}
+	if err := ctx.Err(); err != nil && res.Completed < plan.NumShards {
+		res.Interrupted = true
+		res.Cause = err
+	}
+	if cache != nil {
+		res.Cache = cache.Stats()
+	}
+	return res, nil
+}
+
+// worker is the per-goroutine scan state: a detector clone and a
+// circuit breaker that outlive individual shards.
+type worker struct {
+	chip    *layout.Layout
+	det     core.Detector
+	plan    Plan
+	cfg     Config
+	breaker *resilience.Breaker
+	cache   *ClipCache
+	mets    *farmMetrics
+}
+
+// runShard drives one shard to a terminal state: done after a
+// successful attempt, quarantined after MaxAttempts failures. A nil
+// return means the run was cancelled before the shard finished (the
+// shard stays unrecorded and is rescanned on resume).
+func (w *worker) runShard(ctx context.Context, id int) *ShardRecord {
+	rcfg := w.cfg.Retry
+	rcfg.MaxAttempts = w.cfg.MaxAttempts
+	// Decorrelate jitter across shards while staying deterministic for
+	// a fixed config.
+	rcfg.Seed = rcfg.Seed*31 + int64(id) + 1
+	clock := rcfg.Clock
+	if clock == nil {
+		clock = resilience.Real
+	}
+
+	attempts := 0
+	var findings []core.Finding
+	err := resilience.Retry(ctx, rcfg, func(ctx context.Context) error {
+		// A tripped breaker pauses this worker for the cool-down
+		// instead of failing the shard: breaker rejections are a
+		// worker-health signal, not evidence the shard is poison.
+		for !w.breaker.Allow() {
+			wait := w.breaker.RetryAfter()
+			if wait <= 0 {
+				wait = 10 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-clock.After(wait):
+			}
+		}
+		attempts++
+		w.mets.attempt(attempts)
+		actx, cancel := resilience.WithBudget(ctx, w.cfg.ShardBudget)
+		fs, err := w.scanShard(actx, id, attempts)
+		cancel()
+		if err == nil {
+			findings = fs
+		} else if ctx.Err() != nil {
+			// The run itself was cancelled mid-attempt: don't charge
+			// the breaker or keep retrying.
+			w.breaker.Record(nil)
+			return ctx.Err()
+		}
+		w.breaker.Record(err)
+		return err
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		w.mets.shard(ShardQuarantined)
+		return &ShardRecord{ShardID: id, State: ShardQuarantined, Attempts: attempts, Err: err.Error()}
+	}
+	w.mets.shard(ShardDone)
+	return &ShardRecord{ShardID: id, State: ShardDone, Attempts: attempts, Findings: findings}
+}
+
+// scanShard is one attempt over every window of the shard, in
+// enumeration order. Any window failure (error, recovered panic,
+// expired budget) aborts the attempt; cached verdicts make re-attempts
+// cheap for the windows already scored.
+func (w *worker) scanShard(ctx context.Context, id, attempt int) ([]core.Finding, error) {
+	if err := faultinject.Hit(ShardAttemptSite); err != nil {
+		return nil, err
+	}
+	traced := !trace.Disabled(ctx)
+	start := time.Now()
+	sp := (*trace.Span)(nil)
+	if traced {
+		ctx, sp = trace.Start(ctx, "scan.shard")
+		sp.SetAttrInt("shard", id)
+		sp.SetAttrInt("attempt", attempt)
+	}
+	defer sp.End()
+
+	var findings []core.Finding
+	for _, center := range w.plan.ShardWindows(id) {
+		if err := ctx.Err(); err != nil {
+			sp.SetError(err)
+			return nil, fmt.Errorf("scanfarm: shard %d window at %v: %w", id, center, err)
+		}
+		clip, err := w.chip.ClipAt(center, w.plan.ClipNM, w.plan.CoreFrac)
+		if err != nil {
+			sp.SetError(err)
+			return nil, fmt.Errorf("scanfarm: shard %d window at %v: %w", id, center, err)
+		}
+		if w.cfg.SkipEmpty && len(clip.Shapes) == 0 {
+			continue
+		}
+		score, err := w.scoreWindow(ctx, clip)
+		if err != nil {
+			sp.SetError(err)
+			return nil, fmt.Errorf("scanfarm: shard %d window at %v: %w", id, center, err)
+		}
+		if score >= w.det.Threshold() {
+			findings = append(findings, core.Finding{Center: center, Score: score})
+		}
+	}
+	if w.mets != nil {
+		w.mets.shardSeconds.ObserveDuration(time.Since(start))
+	}
+	return findings, nil
+}
+
+// scoreWindow answers one window, consulting the clip cache before the
+// detector. The detector always scores the canonical (origin
+// translated) clip, so a verdict is a pure function of the cache key
+// and hit/miss paths are identical by construction. The shipped
+// detectors are translation-invariant (rasterization and features are
+// window-relative), so this matches scoring the clip in place.
+func (w *worker) scoreWindow(ctx context.Context, clip layout.Clip) (float64, error) {
+	canon := clip.Translate()
+	var key layout.Fingerprint
+	if w.cache != nil {
+		key = canon.Fingerprint()
+		if score, ok := w.cache.Get(key); ok {
+			w.mets.cache(true, false)
+			return score, nil
+		}
+	}
+	score, err := safeScore(ctx, w.det, canon)
+	if err != nil {
+		if w.cache != nil {
+			w.mets.cache(false, false)
+		}
+		return 0, err
+	}
+	if w.cache != nil {
+		evicted := w.cache.Put(key, score)
+		w.mets.cache(false, evicted)
+	}
+	return score, nil
+}
+
+// safeScore isolates detector panics (and armed WindowScoreSite
+// faults): a panicking detector fails the window instead of killing the
+// process.
+func safeScore(ctx context.Context, d core.Detector, clip layout.Clip) (score float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("detector panic: %v", r)
+		}
+	}()
+	if err := faultinject.Hit(WindowScoreSite); err != nil {
+		return 0, err
+	}
+	return core.ScoreClipCtx(ctx, d, clip)
+}

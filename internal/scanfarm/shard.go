@@ -1,0 +1,219 @@
+// Package scanfarm is the fault-tolerant distributed full-chip scan: a
+// shard coordinator that tiles the chip's window grid into deterministic
+// work units, fans them out to a pool of in-process workers — each
+// wrapped in a circuit breaker, jittered-backoff retry, a per-attempt
+// deadline budget, and panic isolation — quarantines poison shards
+// instead of failing the run, journals completed shards crash-safely so
+// a killed scan resumes where it left off, and answers repeated
+// standard-cell geometry from a content-addressed clip cache before any
+// detector runs.
+//
+// The merged findings are deterministic: shards are row bands of the
+// window-center grid, a shard's findings are in window-enumeration
+// order, and the merge concatenates by shard ID — so worker count,
+// completion order, retries, and cache hits never change the result.
+package scanfarm
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/resilience"
+	"github.com/golitho/hsd/internal/telemetry"
+)
+
+// Plan is the deterministic decomposition of a chip scan into shards.
+// It is a pure function of the chip bounds and the scan geometry
+// parameters, so every run (and every resume) of the same scan agrees
+// on shard IDs and their window sets.
+type Plan struct {
+	// Bounds is the chip bounding box the plan tiles.
+	Bounds geom.Rect
+	// ClipNM, CoreFrac, StrideNM are the window geometry (normalized).
+	ClipNM   int
+	CoreFrac float64
+	StrideNM int
+	// Cols, Rows are the dimensions of the window-center grid.
+	Cols, Rows int
+	// ShardRows is the number of center-grid rows per shard.
+	ShardRows int
+	// NumShards is the shard count: ceil(Rows / ShardRows).
+	NumShards int
+
+	coreHalf int
+}
+
+// NewPlan tiles the bounds into shards. The window-center enumeration
+// is identical to core.ScanCtx: centers anchored so the first core
+// starts at Bounds.Min, stepping StrideNM, covering every point of the
+// die inside some core.
+func NewPlan(bounds geom.Rect, cfg Config) Plan {
+	cfg = cfg.withDefaults()
+	p := Plan{
+		Bounds:    bounds,
+		ClipNM:    cfg.ClipNM,
+		CoreFrac:  cfg.CoreFrac,
+		StrideNM:  cfg.StrideNM,
+		ShardRows: cfg.ShardRows,
+		coreHalf:  cfg.coreHalf(),
+	}
+	if p.coreHalf <= 0 {
+		p.coreHalf = p.ClipNM / 2
+	}
+	if bounds.Empty() {
+		return p
+	}
+	p.Cols = ceilDiv(bounds.Dx(), p.StrideNM)
+	p.Rows = ceilDiv(bounds.Dy(), p.StrideNM)
+	p.NumShards = ceilDiv(p.Rows, p.ShardRows)
+	return p
+}
+
+// Windows returns the total number of windows across all shards.
+func (p Plan) Windows() int { return p.Cols * p.Rows }
+
+// Center returns the window center at grid position (col, row).
+func (p Plan) Center(col, row int) geom.Point {
+	return geom.Pt(
+		p.Bounds.Min.X+p.coreHalf+col*p.StrideNM,
+		p.Bounds.Min.Y+p.coreHalf+row*p.StrideNM,
+	)
+}
+
+// ShardRowRange returns the half-open center-grid row range of shard id.
+func (p Plan) ShardRowRange(id int) (r0, r1 int) {
+	r0 = id * p.ShardRows
+	r1 = r0 + p.ShardRows
+	if r1 > p.Rows {
+		r1 = p.Rows
+	}
+	return r0, r1
+}
+
+// ShardWindows returns shard id's window centers in enumeration order
+// (row-major), the order its findings are reported in.
+func (p Plan) ShardWindows(id int) []geom.Point {
+	r0, r1 := p.ShardRowRange(id)
+	out := make([]geom.Point, 0, (r1-r0)*p.Cols)
+	for row := r0; row < r1; row++ {
+		for col := 0; col < p.Cols; col++ {
+			out = append(out, p.Center(col, row))
+		}
+	}
+	return out
+}
+
+// ShardBounds returns the chip-coordinate rectangle covered by shard
+// id's cores, for quarantine reports.
+func (p Plan) ShardBounds(id int) geom.Rect {
+	r0, r1 := p.ShardRowRange(id)
+	if r0 >= r1 {
+		return geom.Rect{}
+	}
+	return geom.R(
+		p.Bounds.Min.X,
+		p.Bounds.Min.Y+r0*p.StrideNM,
+		p.Bounds.Min.X+p.Cols*p.StrideNM,
+		p.Bounds.Min.Y+(r1-1)*p.StrideNM+2*p.coreHalf,
+	)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Config controls a scan-farm run. The zero value gets the same window
+// geometry defaults as core.ScanConfig plus sensible farm defaults.
+type Config struct {
+	// ClipNM is the detection window edge (default 1024).
+	ClipNM int
+	// CoreFrac is the scored core fraction (default 0.5).
+	CoreFrac float64
+	// StrideNM is the window step (default: the core edge, so cores
+	// tile the chip without gaps).
+	StrideNM int
+	// SkipEmpty skips windows with no geometry.
+	SkipEmpty bool
+	// Workers is the scan worker pool size (default GOMAXPROCS).
+	Workers int
+	// ShardRows is the number of window-grid rows per shard (default 2).
+	// Smaller shards mean finer resume granularity and better load
+	// balance; larger shards amortize journal writes.
+	ShardRows int
+	// MaxAttempts is how many times a shard is tried before it is
+	// quarantined (default 3).
+	MaxAttempts int
+	// ShardBudget, when positive, is the per-attempt deadline: an
+	// attempt that exceeds it fails (and counts toward quarantine)
+	// without cancelling the run.
+	ShardBudget time.Duration
+	// Retry tunes the backoff between shard attempts. MaxAttempts
+	// above wins over Retry.MaxAttempts.
+	Retry resilience.RetryConfig
+	// Breaker tunes the per-worker circuit breaker. A worker whose
+	// breaker opens pauses (cool-down) instead of failing shards.
+	Breaker resilience.BreakerConfig
+	// CacheSize bounds the content-addressed clip cache in entries;
+	// 0 disables the cache.
+	CacheSize int
+	// Journal, when non-nil, records completed and quarantined shards
+	// for -resume. Run appends; the caller owns Close.
+	Journal *Journal
+	// Completed maps shard ID -> record for shards already finished in
+	// a previous run (from LoadJournal); they are skipped and their
+	// findings merged as-is.
+	Completed map[int]ShardRecord
+	// Metrics, when non-nil, receives scan_shards_total{state},
+	// scan_shard_attempts_total, and scan_cache_* series.
+	Metrics *telemetry.Registry
+	// Progress, when non-nil, is called after each shard completes with
+	// (shards done, total shards). Serialized.
+	Progress func(done, total int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ClipNM <= 0 {
+		c.ClipNM = 1024
+	}
+	if c.CoreFrac <= 0 || c.CoreFrac > 1 {
+		c.CoreFrac = 0.5
+	}
+	if c.StrideNM <= 0 {
+		c.StrideNM = 2 * c.coreHalf()
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ShardRows <= 0 {
+		c.ShardRows = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	return c
+}
+
+// coreHalf matches layout.ClipAt's rounding of the core half-edge.
+func (c Config) coreHalf() int {
+	return int(float64(c.ClipNM) * c.CoreFrac / 2)
+}
+
+// Meta derives the journal metadata binding a journal file to one
+// specific scan: chip identity, window geometry, shard layout, and
+// detector. LoadJournal refuses to resume under a different Meta.
+func (c Config) Meta(chip *layout.Layout, detector string) Meta {
+	p := NewPlan(chip.Bounds(), c)
+	c = c.withDefaults()
+	return Meta{
+		Chip:      chip.Name,
+		Shapes:    chip.NumShapes(),
+		Bounds:    chip.Bounds(),
+		ClipNM:    p.ClipNM,
+		CoreFrac:  p.CoreFrac,
+		StrideNM:  p.StrideNM,
+		ShardRows: p.ShardRows,
+		NumShards: p.NumShards,
+		SkipEmpty: c.SkipEmpty,
+		Detector:  detector,
+	}
+}

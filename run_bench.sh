@@ -35,4 +35,17 @@ echo "$trace_out" | awk -v ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 		}
 		printf("{\"ts\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n", ts, name, ns, bytes, allocs)
 	}' >> BENCH_trace.json
+echo "# chunk F: scan farm throughput, cold vs warm clip cache (appends trajectory to BENCH_scan.json)" >> bench_output.txt
+scan_out=$(go test -timeout 60m -bench 'ScanFarm' -benchmem -run XXX ./internal/scanfarm/ 2>&1)
+echo "$scan_out" >> bench_output.txt
+echo "$scan_out" | awk -v ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+	/^Benchmark/ {
+		name = $1; ns = "null"; bytes = "null"; allocs = "null"
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "ns/op") ns = $i
+			if ($(i+1) == "B/op") bytes = $i
+			if ($(i+1) == "allocs/op") allocs = $i
+		}
+		printf("{\"ts\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n", ts, name, ns, bytes, allocs)
+	}' >> BENCH_scan.json
 echo "# done" >> bench_output.txt
