@@ -57,6 +57,20 @@ echo "== scan farm chaos =="
 # and the shared clip cache must hold under -race.
 go test -run 'TestChaosFarm' -race ./internal/scanfarm/
 
+echo "== router equivalence =="
+# The routing-equivalence property layer: for any band setting the
+# router's verdicts must be bit-identical to the answering stage's raw
+# verdict, and always-escalate mode must reproduce the final detector's
+# confusion matrix. -race because the batch path clones members per
+# call and shares atomic routing counters across scan workers.
+go test -run 'TestRouter|TestFitBand|TestCalibrat|TestGate.*Router' -race ./internal/router/ ./internal/registry/
+
+echo "== router smoke =="
+# End to end: train the routed cascade and its members on a fixed-seed
+# benchmark; router recall must hold against both the boost-only and
+# the deep rows while the deep stage sees only the escalated band.
+./scripts/router_smoke.sh
+
 echo "== scan smoke =="
 # End to end: hsdscan is SIGKILLed mid-scan with a journal attached,
 # then rerun with -resume; the stitched findings file must diff clean

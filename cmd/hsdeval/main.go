@@ -45,6 +45,9 @@ func run() error {
 	noODST := flag.Bool("no-odst", false, "skip lithography verification of flagged clips")
 	traceOut := flag.String("trace", "", "write per-evaluation Chrome trace_event JSON to this file (about:tracing / ui.perfetto.dev)")
 	precFlag := flag.String("precision", "float64", "inference precision for the neural zoo detectors (float64, float32, int8); tables then measure the quantized serving path")
+	routerLo := flag.Float64("router-lo", -1, "router: force the low confidence cut (with -router-hi)")
+	routerHi := flag.Float64("router-hi", -1, "router: force the high confidence cut (with -router-lo)")
+	routerEps := flag.Float64("router-eps", 0, "router: per-stage answered-error budget for band fitting (0 = default)")
 	flag.Parse()
 
 	prec, err := nn.ParsePrecision(*precFlag)
@@ -84,6 +87,29 @@ func run() error {
 			}
 		}
 		fmt.Printf("neural detectors serve at %s precision\n\n", prec)
+	}
+	if (*routerLo >= 0) != (*routerHi >= 0) {
+		return fmt.Errorf("-router-lo and -router-hi must be set together")
+	}
+	if *routerLo >= 0 || *routerEps > 0 {
+		// Same wrapping pattern as -precision: the zoo's Router spec
+		// picks up the forced band / error budget at construction.
+		lo, hi, eps := *routerLo, *routerHi, *routerEps
+		for i := range zoo {
+			inner := zoo[i].New
+			zoo[i].New = func() hsd.Detector {
+				det := inner()
+				if rt, ok := det.(*hsd.RouterDetector); ok {
+					if eps > 0 {
+						rt.SetMaxStageError(eps)
+					}
+					if lo >= 0 {
+						rt.ForceBand(hsd.RouterBand{Lo: lo, Hi: hi})
+					}
+				}
+				return det
+			}
+		}
 	}
 	ctx := context.Background()
 	var tracer *trace.Tracer

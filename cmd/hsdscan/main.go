@@ -63,6 +63,9 @@ func run() error {
 	resume := flag.Bool("resume", false, "resume from -journal, skipping shards it records")
 	cacheSize := flag.Int("cache-size", 4096, "content-addressed clip cache capacity in entries (0 disables)")
 	findingsOut := flag.String("findings", "", "write findings deterministically, one per line, to this file")
+	routerLo := flag.Float64("router-lo", -1, "router: force the low confidence cut (with -router-hi; -detector Router)")
+	routerHi := flag.Float64("router-hi", -1, "router: force the high confidence cut (with -router-lo; -detector Router)")
+	routerEps := flag.Float64("router-eps", 0, "router: per-stage answered-error budget for band fitting (0 = default)")
 	flag.Parse()
 
 	if *resume && *journalPath == "" {
@@ -126,6 +129,21 @@ func run() error {
 	}
 
 	det := spec.New()
+	rt, isRouter := det.(*hsd.RouterDetector)
+	if !isRouter && (*routerLo >= 0 || *routerHi >= 0 || *routerEps > 0) {
+		return fmt.Errorf("-router-* flags need -detector Router (got %s)", det.Name())
+	}
+	if isRouter {
+		if *routerEps > 0 {
+			rt.SetMaxStageError(*routerEps)
+		}
+		if (*routerLo >= 0) != (*routerHi >= 0) {
+			return fmt.Errorf("-router-lo and -router-hi must be set together")
+		}
+		if *routerLo >= 0 {
+			rt.ForceBand(hsd.RouterBand{Lo: *routerLo, Hi: *routerHi})
+		}
+	}
 	t0 := time.Now()
 	train := hsd.AugmentMinority(hsd.FromSamples(bench.Train.Samples), spec.Augment)
 	if err := det.Fit(train); err != nil {
@@ -136,6 +154,9 @@ func run() error {
 	var reg *hsd.MetricsRegistry
 	if *metrics {
 		reg = hsd.NewMetricsRegistry()
+		if isRouter {
+			rt.BindMetrics(reg)
+		}
 	}
 	ctx := context.Background()
 	var tracer *trace.Tracer
@@ -195,6 +216,12 @@ func run() error {
 	}
 	if res.Interrupted {
 		fmt.Printf("scan interrupted (%v); journaled shards can be resumed with -resume\n", res.Cause)
+	}
+	if isRouter {
+		for _, s := range rt.Stats() {
+			fmt.Printf("router stage %-10s answered %6d (hot %5d, cold %6d)  escalated %6d  %8.3fs\n",
+				s.Name, s.Answered(), s.AnsweredHot, s.AnsweredCold, s.Escalated, s.Seconds)
+		}
 	}
 	if *findingsOut != "" {
 		if err := writeFindings(*findingsOut, findings); err != nil {

@@ -86,8 +86,10 @@ func main() {
 	}
 }
 
-// trainDetector trains one zoo detector by name on the benchmark.
-func trainDetector(name string, seed int64, bench *hsd.Benchmark) (core.Detector, error) {
+// trainDetector trains one zoo detector by name on the benchmark. A
+// non-nil configure hook runs on the freshly built detector before Fit
+// (the router threshold flags apply through it).
+func trainDetector(name string, seed int64, bench *hsd.Benchmark, configure func(core.Detector) error) (core.Detector, error) {
 	var spec *hsd.DetectorSpec
 	for _, s := range hsd.SurveyZoo(seed) {
 		if strings.EqualFold(s.Name, name) {
@@ -100,6 +102,11 @@ func trainDetector(name string, seed int64, bench *hsd.Benchmark) (core.Detector
 		return nil, fmt.Errorf("detector %q not in zoo", name)
 	}
 	det := spec.New()
+	if configure != nil {
+		if err := configure(det); err != nil {
+			return nil, err
+		}
+	}
 	t0 := time.Now()
 	train := hsd.AugmentMinority(hsd.FromSamples(bench.Train.Samples), spec.Augment)
 	if err := det.Fit(train); err != nil {
@@ -161,6 +168,9 @@ func run() error {
 	probationMaxFail := flag.Int("probation-max-failures", 5, "primary failures tolerated inside the probation window")
 	precFlag := flag.String("precision", "float64", "inference precision for a neural primary (float64, float32, int8); reduced precision must pass the golden-set tolerance gate before serving")
 	kernelWorkers := flag.Int("kernel-workers", 0, "total kernel-pool parallelism for batched inference and matmuls (0: GOMAXPROCS)")
+	routerLo := flag.Float64("router-lo", -1, "router: force the low confidence cut (with -router-hi; -detector Router)")
+	routerHi := flag.Float64("router-hi", -1, "router: force the high confidence cut (with -router-lo; -detector Router)")
+	routerEps := flag.Float64("router-eps", 0, "router: per-stage answered-error budget for band fitting (0 = default)")
 	readTimeout := flag.Duration("read-timeout", 15*time.Second, "max time to read a request")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "max time to write a response (covers /verify simulation)")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
@@ -195,7 +205,26 @@ func run() error {
 		return fmt.Errorf("benchmark %q not found", *benchName)
 	}
 
-	det, err := trainDetector(*detName, *seed, bench)
+	configureRouter := func(d core.Detector) error {
+		rt, ok := d.(*hsd.RouterDetector)
+		if !ok {
+			if *routerLo >= 0 || *routerHi >= 0 || *routerEps > 0 {
+				return fmt.Errorf("-router-* flags need -detector Router (got %s)", d.Name())
+			}
+			return nil
+		}
+		if *routerEps > 0 {
+			rt.SetMaxStageError(*routerEps)
+		}
+		if (*routerLo >= 0) != (*routerHi >= 0) {
+			return fmt.Errorf("-router-lo and -router-hi must be set together")
+		}
+		if *routerLo >= 0 {
+			rt.ForceBand(hsd.RouterBand{Lo: *routerLo, Hi: *routerHi})
+		}
+		return nil
+	}
+	det, err := trainDetector(*detName, *seed, bench, configureRouter)
 	if err != nil {
 		return err
 	}
@@ -204,7 +233,7 @@ func run() error {
 		if strings.EqualFold(*fallbackName, *detName) {
 			return fmt.Errorf("fallback %q is the primary detector; pick a different (shallower) one", *fallbackName)
 		}
-		fallback, err = trainDetector(*fallbackName, *seed, bench)
+		fallback, err = trainDetector(*fallbackName, *seed, bench, nil)
 		if err != nil {
 			return fmt.Errorf("fallback: %w", err)
 		}
@@ -283,6 +312,11 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+	if rt, ok := det.(*hsd.RouterDetector); ok {
+		// Per-stage routing counters land on the same /metrics page as
+		// the serving cascade's.
+		rt.BindMetrics(srv.Metrics())
 	}
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -54,6 +54,9 @@ func run() error {
 	ckptEvery := flag.Int("checkpoint-every", 1, "epochs between checkpoints (with -checkpoint-dir)")
 	ckptKeep := flag.Int("checkpoint-keep", 2, "checkpoint files retained in -checkpoint-dir")
 	resume := flag.Bool("resume", false, "resume from the newest good checkpoint in -checkpoint-dir")
+	routerLo := flag.Float64("router-lo", -1, "router: force the low confidence cut (with -router-hi; -detector Router)")
+	routerHi := flag.Float64("router-hi", -1, "router: force the high confidence cut (with -router-lo; -detector Router)")
+	routerEps := flag.Float64("router-eps", 0, "router: per-stage answered-error budget for band fitting (0 = default)")
 	flag.Parse()
 
 	f, err := os.Open(*suitePath)
@@ -96,6 +99,9 @@ func run() error {
 		return err
 	}
 	det := spec.New()
+	if err := applyRouterFlags(det, *routerLo, *routerHi, *routerEps); err != nil {
+		return err
+	}
 
 	// Checkpointing: wire the trainer's crash-tolerance into the CLI.
 	metrics := telemetry.NewRegistry()
@@ -167,6 +173,7 @@ func run() error {
 	if n := ckptTotal.Value(); n > 0 {
 		fmt.Printf("checkpoints %.0f written to %s (hotspot_checkpoints_total)\n", n, *ckptDir)
 	}
+	printRouterStats(det)
 	fmt.Printf("total %v\n", time.Since(t0).Round(time.Millisecond))
 
 	if *save != "" {
@@ -185,4 +192,39 @@ func run() error {
 		return err
 	}
 	return nil
+}
+
+// applyRouterFlags forwards the -router-* threshold flags onto a Router
+// detector; setting them for any other detector is an error.
+func applyRouterFlags(det hsd.Detector, lo, hi, eps float64) error {
+	rt, ok := det.(*hsd.RouterDetector)
+	if !ok {
+		if lo >= 0 || hi >= 0 || eps > 0 {
+			return fmt.Errorf("-router-* flags need -detector Router (got %s)", det.Name())
+		}
+		return nil
+	}
+	if eps > 0 {
+		rt.SetMaxStageError(eps)
+	}
+	if (lo >= 0) != (hi >= 0) {
+		return fmt.Errorf("-router-lo and -router-hi must be set together")
+	}
+	if lo >= 0 {
+		rt.ForceBand(hsd.RouterBand{Lo: lo, Hi: hi})
+	}
+	return nil
+}
+
+// printRouterStats prints the per-stage routing breakdown when the
+// trained detector is a router.
+func printRouterStats(det hsd.Detector) {
+	rt, ok := det.(*hsd.RouterDetector)
+	if !ok {
+		return
+	}
+	for _, s := range rt.Stats() {
+		fmt.Printf("stage %-10s answered %5d (hot %4d, cold %4d)  escalated %5d  %8.3fs\n",
+			s.Name, s.Answered(), s.AnsweredHot, s.AnsweredCold, s.Escalated, s.Seconds)
+	}
 }

@@ -39,6 +39,7 @@ import (
 	"github.com/golitho/hsd/internal/opc"
 	"github.com/golitho/hsd/internal/pm"
 	"github.com/golitho/hsd/internal/raster"
+	"github.com/golitho/hsd/internal/router"
 	"github.com/golitho/hsd/internal/scanfarm"
 	"github.com/golitho/hsd/internal/svm"
 	"github.com/golitho/hsd/internal/telemetry"
@@ -271,6 +272,33 @@ func NewCNNDetector(ex *DCTFeatures, cnn CNNConfig, cfg TrainConfig, label strin
 
 // NewEnsemble builds a majority-voting ensemble.
 func NewEnsemble(members ...Detector) *Ensemble { return core.NewEnsemble(members...) }
+
+// Routing (EPIC-style meta-classifier cascade).
+type (
+	// RouterDetector routes clips through a cheap→expensive detector
+	// cascade by calibrated confidence.
+	RouterDetector = router.Router
+	// RouterStage is one rung of the cascade.
+	RouterStage = router.Stage
+	// RouterConfig parameterizes router fitting.
+	RouterConfig = router.Config
+	// RouterBand is the uncertainty band on a stage's confidence.
+	RouterBand = router.Band
+	// RouterDecision is the full routing outcome for one clip.
+	RouterDecision = router.Decision
+	// RouterStageStats snapshots one stage's routing counters.
+	RouterStageStats = router.StageStats
+)
+
+// RouterAlwaysEscalate is the band that forwards every clip to the
+// final stage — it reduces the router to its deep detector.
+var RouterAlwaysEscalate = router.AlwaysEscalate
+
+// NewRouterDetector builds an unfitted routing cascade over stages
+// (cheapest first; the final stage always answers).
+func NewRouterDetector(name string, stages []RouterStage, cfg RouterConfig) *RouterDetector {
+	return router.New(name, stages, cfg)
+}
 
 // Predict applies a detector's threshold to one clip.
 func Predict(d Detector, clip Clip) (bool, error) { return core.Predict(d, clip) }

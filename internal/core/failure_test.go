@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -160,5 +161,113 @@ func TestScanIsolatesDetectorPanic(t *testing.T) {
 	// the panicking window's center coordinates are attached.
 	if !strings.Contains(err.Error(), "at (") {
 		t.Fatalf("error %v lacks window coordinates", err)
+	}
+}
+
+// TestScanPanicAttributionDeterministic: with several poison windows
+// and racing workers, the reported window must not depend on which
+// worker hit its poison first — the scan always attributes the
+// lowest-index failing window, so the error string is identical from
+// serial to 8-way parallel.
+func TestScanPanicAttributionDeterministic(t *testing.T) {
+	chip := layout.New("chip")
+	if err := chip.AddRect(geom.R(0, 0, 4096, 96)); err != nil {
+		t.Fatal(err)
+	}
+	// The poison region overlaps two adjacent windows, so with parallel
+	// workers either may fail first; attribution must still pick the
+	// lower-index one.
+	det := &panicDetector{Bad: geom.R(2000, 0, 2100, 100)}
+	var want string
+	for workers := 1; workers <= 8; workers++ {
+		_, err := Scan(chip, det, ScanConfig{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: scan swallowed the panic", workers)
+		}
+		if workers == 1 {
+			want = err.Error()
+			continue
+		}
+		if err.Error() != want {
+			t.Fatalf("workers=%d: attribution drifted:\ngot  %s\nwant %s",
+				workers, err, want)
+		}
+	}
+}
+
+// panicBatchDetector is the batch-capable twin of panicDetector: it
+// implements BatchScorer and CtxScorer like the neural detectors and
+// the router, so the scan's ScoreClipCtx dispatch takes the ctx-scoring
+// path rather than plain Score. Panic isolation must hold there too.
+type panicBatchDetector struct {
+	Bad geom.Rect
+}
+
+func (p *panicBatchDetector) Name() string            { return "panic-batch" }
+func (p *panicBatchDetector) Fit([]LabeledClip) error { return nil }
+func (p *panicBatchDetector) Threshold() float64      { return 0.5 }
+func (p *panicBatchDetector) Score(clip layout.Clip) (float64, error) {
+	if clip.Window.Overlaps(p.Bad) {
+		panic("poison window (score)")
+	}
+	return 0, nil
+}
+func (p *panicBatchDetector) ScoreCtx(_ context.Context, clip layout.Clip) (float64, error) {
+	if clip.Window.Overlaps(p.Bad) {
+		panic("poison window (ctx)")
+	}
+	return 0, nil
+}
+func (p *panicBatchDetector) ScoreBatch(clips []layout.Clip) ([]float64, error) {
+	out := make([]float64, len(clips))
+	for i, clip := range clips {
+		if clip.Window.Overlaps(p.Bad) {
+			panic("poison window (batch)")
+		}
+		out[i] = 0
+	}
+	return out, nil
+}
+
+var (
+	_ BatchScorer = (*panicBatchDetector)(nil)
+	_ CtxScorer   = (*panicBatchDetector)(nil)
+)
+
+// TestScanIsolatesBatchDetectorPanic: the parallel scan isolates panics
+// raised on the batch-capable dispatch path (CtxScorer/BatchScorer
+// detectors) exactly like plain-Score panics, with identical
+// window attribution across worker counts.
+func TestScanIsolatesBatchDetectorPanic(t *testing.T) {
+	chip := layout.New("chip")
+	if err := chip.AddRect(geom.R(0, 0, 4096, 96)); err != nil {
+		t.Fatal(err)
+	}
+	det := &panicBatchDetector{Bad: geom.R(2000, 0, 2100, 100)}
+	var want string
+	for workers := 1; workers <= 8; workers++ {
+		_, err := Scan(chip, det, ScanConfig{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: scan swallowed a batch-path panic", workers)
+		}
+		if !strings.Contains(err.Error(), "detector panic") ||
+			!strings.Contains(err.Error(), "at (") {
+			t.Fatalf("workers=%d: error %v lacks panic attribution", workers, err)
+		}
+		if workers == 1 {
+			want = err.Error()
+			continue
+		}
+		if err.Error() != want {
+			t.Fatalf("workers=%d: batch-path attribution drifted:\ngot  %s\nwant %s",
+				workers, err, want)
+		}
+	}
+	// ScoreClips (the eval/serve batch path) has no isolation contract —
+	// but Evaluate and the scan must never share a poison process. The
+	// scan's recovery is the boundary; verify the panic really came
+	// through the ctx path, proving the dispatch under test.
+	if !strings.Contains(want, "poison window (ctx)") {
+		t.Fatalf("panic did not route through the ctx-scoring path: %s", want)
 	}
 }

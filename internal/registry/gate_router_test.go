@@ -1,0 +1,89 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/golitho/hsd/internal/router"
+)
+
+// routerCandidate builds a fitted two-stage router over fakeDets with
+// the given non-final band: stage 0 scores per stage0, the final stage
+// per stage1 — the same index-encoded golden clips the other gate tests
+// use.
+func routerCandidate(t *testing.T, band router.Band, stage0, stage1 []float64) *router.Router {
+	t.Helper()
+	r := router.New("router-cand", []router.Stage{
+		{Name: "cheap", Detector: &fakeDet{name: "cheap", thr: 0.5, scores: stage0}},
+		{Name: "deep", Detector: &fakeDet{name: "deep", thr: 0.5, scores: stage1}},
+	}, router.Config{})
+	id := router.Calibration{
+		Weights: []float64{4}, Mean: []float64{0.5}, InvStd: []float64{1}, Band: band,
+	}
+	id2 := router.Calibration{
+		Weights: []float64{2, 2}, Mean: []float64{0.5, 0.5}, InvStd: []float64{1, 1},
+		Band: router.AlwaysEscalate,
+	}
+	if err := r.SetCalibrations([]router.Calibration{id, id2}); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestGateAdmitsEquivalentRouter: a router whose routed verdicts match
+// the live single detector passes the hot-reload gate — the gate works
+// on the router exactly as on any detector.
+func TestGateAdmitsEquivalentRouter(t *testing.T) {
+	g := golden(4, 2)
+	live := det("live", 0.5, 0.9, 0.8, 0.1, 0.2)
+	// Cheap stage is confident and correct on every clip; the band lets
+	// it answer everything.
+	cand := routerCandidate(t, router.Band{Lo: 0.45, Hi: 0.55},
+		[]float64{0.9, 0.8, 0.1, 0.2},
+		[]float64{0.9, 0.8, 0.1, 0.2})
+	v := Gate(live, cand, g, 0.05, 0.05, t.Logf)
+	if !v.OK {
+		t.Fatalf("equivalent router rejected: %s", v.Reason)
+	}
+}
+
+// TestGateRejectsRouterRecallDrop: a router whose cheap stage
+// confidently answers "non-hotspot" on a true hotspot loses recall and
+// must be rejected like any regressing candidate.
+func TestGateRejectsRouterRecallDrop(t *testing.T) {
+	g := golden(4, 2)
+	live := det("live", 0.5, 0.9, 0.8, 0.1, 0.2)
+	// Stage 0 is confidently wrong on hotspot 1 (score 0.1 → answers
+	// cold); the deep stage never sees it.
+	cand := routerCandidate(t, router.Band{Lo: 0.45, Hi: 0.55},
+		[]float64{0.9, 0.1, 0.1, 0.2},
+		[]float64{0.9, 0.8, 0.1, 0.2})
+	v := Gate(live, cand, g, 0.05, 0.05, nil)
+	if v.OK {
+		t.Fatal("router with lost recall admitted")
+	}
+	if !strings.Contains(v.Reason, "recall") {
+		t.Fatalf("reason %q does not mention recall", v.Reason)
+	}
+}
+
+// TestGateRouterEscalationNeutral: with an always-escalate band the
+// router is gate-equivalent to its final detector — same verdict from
+// the gate for both.
+func TestGateRouterEscalationNeutral(t *testing.T) {
+	g := golden(4, 2)
+	live := det("live", 0.5, 0.9, 0.8, 0.1, 0.2)
+	final := []float64{0.9, 0.4, 0.1, 0.2} // drops hotspot 1
+	cand := routerCandidate(t, router.AlwaysEscalate,
+		[]float64{0.9, 0.9, 0.9, 0.9}, final)
+	direct := det("deep", 0.5, final...)
+	vRouter := Gate(live, cand, g, 0.05, 0.05, nil)
+	vDirect := Gate(live, direct, g, 0.05, 0.05, nil)
+	if vRouter.OK != vDirect.OK {
+		t.Fatalf("gate disagrees: router %v (%s), direct %v (%s)",
+			vRouter.OK, vRouter.Reason, vDirect.OK, vDirect.Reason)
+	}
+	if vRouter.OK {
+		t.Fatal("regressing final stage admitted through the router")
+	}
+}

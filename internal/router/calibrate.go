@@ -1,0 +1,273 @@
+// Calibration: the meta-classification layer of the router. Each stage
+// gets a logistic stacker over the (standardized) raw scores of every
+// stage computed so far, turning heterogeneous detector outputs — PM
+// match fractions, SVM margins, boost margins, CNN probabilities — into
+// one comparable hotspot probability, plus an uncertainty band on that
+// probability fitted to a target answered-error rate.
+//
+// The band semantics are deliberately one-sided per verdict: a stage
+// answers "non-hotspot" only when its confidence is at or below Band.Lo
+// AND its own thresholded verdict agrees, and answers "hotspot" only
+// when confidence is at or above Band.Hi AND the verdict agrees.
+// Disagreement between the stacker and the stage detector is itself
+// uncertainty, so those clips escalate. This is what makes the routing
+// equivalence contract (see router.go) hold by construction.
+
+package router
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/golitho/hsd/internal/core"
+	"github.com/golitho/hsd/internal/logreg"
+)
+
+// Band is the uncertainty band on a stage's calibrated confidence:
+// confidence <= Lo answers non-hotspot, confidence >= Hi answers
+// hotspot (both only when the stage's own verdict agrees), anything
+// between escalates to the next stage.
+type Band struct {
+	Lo, Hi float64
+}
+
+// AlwaysEscalate is the band that never answers: every clip reaching a
+// stage with this band escalates. Calibrated probabilities live in
+// (0, 1), so Lo = -1 and Hi = 2 are unreachable. Forcing this band on
+// every non-final stage reduces the router to its final detector —
+// the anchor of the routing-equivalence test layer.
+var AlwaysEscalate = Band{Lo: -1, Hi: 2}
+
+// Calibration is one stage's fitted meta-classifier state: a logistic
+// stacker over the standardized raw scores of stages 0..i, and the
+// fitted uncertainty band.
+type Calibration struct {
+	// Weights and Bias are the logistic stacker: one weight per stage
+	// score available at this rung (stages 0..i).
+	Weights []float64
+	Bias    float64
+	// Mean and InvStd standardize the raw stage scores before the
+	// stacker; fitted on the calibration split.
+	Mean, InvStd []float64
+	// Band is the uncertainty band on the stacker probability. The
+	// final stage's band is ignored: it always answers.
+	Band Band
+}
+
+// prob applies the stacker to the raw scores of stages 0..i. Non-finite
+// member scores contribute nothing (their standardized value is forced
+// to zero) so one NaN detector cannot poison the routing probability.
+func (c *Calibration) prob(scores []float64) float64 {
+	z := c.Bias
+	for j, s := range scores {
+		if j >= len(c.Weights) {
+			break
+		}
+		v := (s - c.Mean[j]) * c.InvStd[j]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		z += c.Weights[j] * v
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// FitBand fits the uncertainty band for one stage: the widest
+// answer regions whose empirical answered-error stays at or below eps.
+//
+//	Lo = the largest probability p such that among calibration clips
+//	     with prob <= p, the hotspot fraction is <= eps;
+//	Hi = the smallest probability p such that among calibration clips
+//	     with prob >= p, the non-hotspot fraction is <= eps.
+//
+// Clips answered below Lo get verdict non-hotspot, so hotspots there
+// are exactly the errors; symmetrically above Hi. Non-finite
+// probabilities are excluded from the fit (at scoring time they always
+// escalate). If no prefix (suffix) meets eps, that side of the band is
+// unreachable and every clip escalates past it — a degenerate stage
+// costs escalations, never accuracy.
+func FitBand(probs []float64, labels []int, eps float64) Band {
+	type pl struct {
+		p   float64
+		hot bool
+	}
+	pts := make([]pl, 0, len(probs))
+	for i, p := range probs {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			continue
+		}
+		pts = append(pts, pl{p: p, hot: i < len(labels) && labels[i] == 1})
+	}
+	band := AlwaysEscalate
+	if len(pts) == 0 {
+		return band
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].p < pts[j].p })
+
+	hot := 0
+	for k, pt := range pts {
+		if pt.hot {
+			hot++
+		}
+		// Ties share a fate: a candidate cut must include every point
+		// with an equal probability.
+		if k+1 < len(pts) && pts[k+1].p == pt.p {
+			continue
+		}
+		if float64(hot)/float64(k+1) <= eps {
+			band.Lo = pt.p
+		}
+	}
+	cold := 0
+	for k := len(pts) - 1; k >= 0; k-- {
+		if !pts[k].hot {
+			cold++
+		}
+		if k > 0 && pts[k-1].p == pts[k].p {
+			continue
+		}
+		if float64(cold)/float64(len(pts)-k) <= eps {
+			band.Hi = pts[k].p
+		}
+	}
+	return band
+}
+
+// stratifiedSplit deterministically carves a calibration split off the
+// training set, keeping both classes represented on both sides: every
+// k-th sample of each class (k ~ 1/frac) goes to the calibration set.
+// A class with fewer than two samples lands on both sides — the member
+// detectors and the stacker each need to see it, and reusing one clip
+// for calibration beats losing the class.
+func stratifiedSplit(train []core.LabeledClip, frac float64) (fit, calib []core.LabeledClip) {
+	if frac <= 0 || frac >= 1 {
+		frac = 0.25
+	}
+	k := int(math.Round(1 / frac))
+	if k < 2 {
+		k = 2
+	}
+	var counts [2]int
+	for _, s := range train {
+		if s.Hotspot {
+			counts[1]++
+		} else {
+			counts[0]++
+		}
+	}
+	var seen [2]int
+	for _, s := range train {
+		cls := 0
+		if s.Hotspot {
+			cls = 1
+		}
+		if counts[cls] < 2 {
+			fit = append(fit, s)
+			calib = append(calib, s)
+			continue
+		}
+		if seen[cls]%k == 0 {
+			calib = append(calib, s)
+		} else {
+			fit = append(fit, s)
+		}
+		seen[cls]++
+	}
+	return fit, calib
+}
+
+// calibrate fits the per-stage stackers and bands from the calibration
+// split's raw score matrix. scores[i][j] is stage i's raw score on
+// calibration clip j.
+func calibrate(scores [][]float64, labels []int, cfg Config) ([]Calibration, error) {
+	nStages := len(scores)
+	if nStages == 0 {
+		return nil, fmt.Errorf("router: no stages to calibrate")
+	}
+	n := len(labels)
+	cals := make([]Calibration, nStages)
+	for i := 0; i < nStages; i++ {
+		// Feature matrix: standardized scores of stages 0..i per clip.
+		mean := make([]float64, i+1)
+		invStd := make([]float64, i+1)
+		for j := 0; j <= i; j++ {
+			mean[j], invStd[j] = momentsOf(scores[j])
+		}
+		x := make([][]float64, n)
+		for c := 0; c < n; c++ {
+			row := make([]float64, i+1)
+			for j := 0; j <= i; j++ {
+				v := (scores[j][c] - mean[j]) * invStd[j]
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					v = 0
+				}
+				row[j] = v
+			}
+			x[c] = row
+		}
+		m, err := logreg.Train(x, labels, logreg.Config{
+			Seed: cfg.Seed + int64(i), L2: 1e-3,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("router: stage %d stacker: %w", i, err)
+		}
+		cal := Calibration{
+			Weights: m.Weights,
+			Bias:    m.Bias,
+			Mean:    mean,
+			InvStd:  invStd,
+			Band:    AlwaysEscalate,
+		}
+		if i < nStages-1 {
+			probs := make([]float64, n)
+			for c := 0; c < n; c++ {
+				probs[c] = cal.prob(columnOf(scores, c, i+1))
+			}
+			cal.Band = FitBand(probs, labels, cfg.MaxStageError)
+		}
+		cals[i] = cal
+	}
+	return cals, nil
+}
+
+// momentsOf returns the mean and inverse standard deviation of the
+// finite entries of xs, mirroring core's feature scaler: a constant (or
+// empty, or all-NaN) column gets invStd 1 so it passes through instead
+// of dividing by zero.
+func momentsOf(xs []float64) (mean, invStd float64) {
+	n := 0
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		mean += v
+		n++
+	}
+	if n == 0 {
+		return 0, 1
+	}
+	mean /= float64(n)
+	varsum := 0.0
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		d := v - mean
+		varsum += d * d
+	}
+	sd := math.Sqrt(varsum / float64(n))
+	if sd < 1e-9 {
+		return mean, 1
+	}
+	return mean, 1 / sd
+}
+
+// columnOf gathers clip c's raw scores for stages 0..depth-1.
+func columnOf(scores [][]float64, c, depth int) []float64 {
+	out := make([]float64, depth)
+	for j := 0; j < depth; j++ {
+		out[j] = scores[j][c]
+	}
+	return out
+}

@@ -1,0 +1,419 @@
+package router
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/golitho/hsd/internal/core"
+)
+
+// calibratedUniform builds a synthetic score distribution that is
+// perfectly calibrated by construction: levels percent levels of
+// probability p = (k+0.5)/levels, each with perLevel points of which
+// exactly round(perLevel*p) are hotspots. For such a distribution the
+// analytically optimal band at answered-error eps is Lo* ~ 2*eps and
+// Hi* ~ 1-2*eps: the hotspot fraction of the prefix up to p is the mean
+// of the levels below it, ~p/2.
+func calibratedUniform(levels, perLevel int) (probs []float64, labels []int) {
+	for k := 0; k < levels; k++ {
+		p := (float64(k) + 0.5) / float64(levels)
+		hot := int(math.Round(float64(perLevel) * p))
+		for j := 0; j < perLevel; j++ {
+			probs = append(probs, p)
+			if j < hot {
+				labels = append(labels, 1)
+			} else {
+				labels = append(labels, 0)
+			}
+		}
+	}
+	return probs, labels
+}
+
+// errFrac measures the answered-error rates the band promises: the
+// hotspot fraction at or below lo, and the non-hotspot fraction at or
+// above hi. Missing sides report 0.
+func errFrac(probs []float64, labels []int, b Band) (loErr, hiErr float64) {
+	loHot, loN, hiCold, hiN := 0, 0, 0, 0
+	for i, p := range probs {
+		if math.IsNaN(p) {
+			continue
+		}
+		if p <= b.Lo {
+			loN++
+			if labels[i] == 1 {
+				loHot++
+			}
+		}
+		if p >= b.Hi {
+			hiN++
+			if labels[i] == 0 {
+				hiCold++
+			}
+		}
+	}
+	if loN > 0 {
+		loErr = float64(loHot) / float64(loN)
+	}
+	if hiN > 0 {
+		hiErr = float64(hiCold) / float64(hiN)
+	}
+	return loErr, hiErr
+}
+
+func TestFitBandCalibratedUniformAnalytic(t *testing.T) {
+	probs, labels := calibratedUniform(100, 50)
+	for _, eps := range []float64{0.05, 0.10, 0.20} {
+		b := FitBand(probs, labels, eps)
+		wantLo, wantHi := 2*eps, 1-2*eps
+		if math.Abs(b.Lo-wantLo) > 0.05 {
+			t.Errorf("eps=%.2f: Lo = %.3f, analytic optimum %.3f", eps, b.Lo, wantLo)
+		}
+		if math.Abs(b.Hi-wantHi) > 0.05 {
+			t.Errorf("eps=%.2f: Hi = %.3f, analytic optimum %.3f", eps, b.Hi, wantHi)
+		}
+		loErr, hiErr := errFrac(probs, labels, b)
+		if loErr > eps || hiErr > eps {
+			t.Errorf("eps=%.2f: band %+v violates error budget: loErr=%.3f hiErr=%.3f",
+				eps, b, loErr, hiErr)
+		}
+	}
+}
+
+// TestFitBandMaximality: the fitted cuts are the widest that satisfy
+// the budget — moving either cut one distinct probability level inward
+// toward the middle of the band is allowed (still under budget by
+// definition), but moving it one level outward must break the budget.
+func TestFitBandMaximality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 200 + rng.Intn(400)
+		probs := make([]float64, n)
+		labels := make([]int, n)
+		for i := range probs {
+			p := rng.Float64()
+			probs[i] = p
+			// Noisy-calibrated labels so neither side is trivially clean.
+			if rng.Float64() < 0.8*p+0.1 {
+				labels[i] = 1
+			}
+		}
+		eps := 0.02 + rng.Float64()*0.2
+		b := FitBand(probs, labels, eps)
+		loErr, hiErr := errFrac(probs, labels, b)
+		if loErr > eps || hiErr > eps {
+			t.Fatalf("trial %d: band %+v violates budget eps=%.3f (lo=%.3f hi=%.3f)",
+				trial, b, eps, loErr, hiErr)
+		}
+		// Maximality: the next distinct probability above Lo (below Hi)
+		// must violate the budget when adopted as the cut.
+		nextLo, prevHi := math.Inf(1), math.Inf(-1)
+		for _, p := range probs {
+			if p > b.Lo && p < nextLo {
+				nextLo = p
+			}
+			if p < b.Hi && p > prevHi {
+				prevHi = p
+			}
+		}
+		if !math.IsInf(nextLo, 1) && nextLo < b.Hi {
+			loErr, _ := errFrac(probs, labels, Band{Lo: nextLo, Hi: b.Hi})
+			if loErr <= eps {
+				t.Fatalf("trial %d: Lo=%.4f not maximal, %.4f also satisfies eps=%.3f",
+					trial, b.Lo, nextLo, eps)
+			}
+		}
+		if !math.IsInf(prevHi, -1) && prevHi > b.Lo {
+			_, hiErr := errFrac(probs, labels, Band{Lo: b.Lo, Hi: prevHi})
+			if hiErr <= eps {
+				t.Fatalf("trial %d: Hi=%.4f not minimal, %.4f also satisfies eps=%.3f",
+					trial, b.Hi, prevHi, eps)
+			}
+		}
+	}
+}
+
+func TestFitBandDegenerate(t *testing.T) {
+	esc := AlwaysEscalate
+	cases := []struct {
+		name   string
+		probs  []float64
+		labels []int
+		eps    float64
+		want   func(t *testing.T, b Band)
+	}{
+		{
+			name: "empty",
+			want: func(t *testing.T, b Band) {
+				if b != esc {
+					t.Fatalf("empty input: band %+v, want AlwaysEscalate", b)
+				}
+			},
+		},
+		{
+			name:   "all NaN",
+			probs:  []float64{math.NaN(), math.NaN(), math.NaN()},
+			labels: []int{0, 1, 0},
+			want: func(t *testing.T, b Band) {
+				if b != esc {
+					t.Fatalf("all-NaN probs: band %+v, want AlwaysEscalate", b)
+				}
+			},
+		},
+		{
+			name:   "infinities filtered",
+			probs:  []float64{math.Inf(1), math.Inf(-1), 0.2, 0.8},
+			labels: []int{1, 0, 0, 1},
+			eps:    0.1,
+			want: func(t *testing.T, b Band) {
+				if b.Lo != 0.2 || b.Hi != 0.8 {
+					t.Fatalf("inf-filtered: band %+v, want {0.2 0.8}", b)
+				}
+			},
+		},
+		{
+			name:   "all hotspot",
+			probs:  []float64{0.1, 0.5, 0.9},
+			labels: []int{1, 1, 1},
+			eps:    0.1,
+			want: func(t *testing.T, b Band) {
+				// No clean cold prefix exists; every suffix is pure hotspot.
+				if b.Lo != esc.Lo {
+					t.Fatalf("all-hot: Lo = %v, want unreachable", b.Lo)
+				}
+				if b.Hi != 0.1 {
+					t.Fatalf("all-hot: Hi = %v, want min prob 0.1", b.Hi)
+				}
+			},
+		},
+		{
+			name:   "all cold",
+			probs:  []float64{0.1, 0.5, 0.9},
+			labels: []int{0, 0, 0},
+			eps:    0.1,
+			want: func(t *testing.T, b Band) {
+				if b.Hi != esc.Hi {
+					t.Fatalf("all-cold: Hi = %v, want unreachable", b.Hi)
+				}
+				if b.Lo != 0.9 {
+					t.Fatalf("all-cold: Lo = %v, want max prob 0.9", b.Lo)
+				}
+			},
+		},
+		{
+			name:   "single tied value too mixed",
+			probs:  []float64{0.7, 0.7, 0.7, 0.7},
+			labels: []int{1, 0, 1, 0},
+			eps:    0.1,
+			want: func(t *testing.T, b Band) {
+				if b != esc {
+					t.Fatalf("mixed tie: band %+v, want AlwaysEscalate", b)
+				}
+			},
+		},
+		{
+			name: "ties share a fate",
+			// Ten tied points at 0.5 with one hotspot among them: a cut
+			// at 0.5 carries 10% error, legal at eps=0.15 but not at
+			// eps=0.05 — and the sweep must never split the tie.
+			probs:  []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+			labels: []int{1, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+			eps:    0.05,
+			want: func(t *testing.T, b Band) {
+				if b.Lo != esc.Lo {
+					t.Fatalf("tie split: Lo = %v accepted a 10%% error cut at eps=0.05", b.Lo)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.want(t, FitBand(tc.probs, tc.labels, tc.eps))
+		})
+	}
+}
+
+func TestCalibrationProbGuardsNaN(t *testing.T) {
+	cal := Calibration{
+		Weights: []float64{1, 1},
+		Bias:    0.25,
+		Mean:    []float64{0.5, 0.5},
+		InvStd:  []float64{2, 2},
+	}
+	base := cal.prob([]float64{0.5, 1})
+	// A NaN member score contributes exactly nothing — identical to the
+	// score sitting at the mean.
+	got := cal.prob([]float64{math.NaN(), 1})
+	if got != base {
+		t.Fatalf("NaN score prob = %v, want mean-equivalent %v", got, base)
+	}
+	if inf := cal.prob([]float64{math.Inf(1), 1}); inf != base {
+		t.Fatalf("Inf score prob = %v, want mean-equivalent %v", inf, base)
+	}
+	if p := cal.prob([]float64{math.NaN(), math.NaN()}); p != 1/(1+math.Exp(-0.25)) {
+		t.Fatalf("all-NaN prob = %v, want sigmoid(bias)", p)
+	}
+}
+
+func TestMomentsOf(t *testing.T) {
+	m, is := momentsOf([]float64{1, 2, 3, 4})
+	if math.Abs(m-2.5) > 1e-12 {
+		t.Fatalf("mean = %v, want 2.5", m)
+	}
+	if sd := 1 / is; math.Abs(sd-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("sd = %v, want sqrt(1.25)", sd)
+	}
+	if m, is := momentsOf([]float64{7, 7, 7}); m != 7 || is != 1 {
+		t.Fatalf("constant column: (%v, %v), want (7, 1)", m, is)
+	}
+	if m, is := momentsOf([]float64{math.NaN(), math.Inf(1)}); m != 0 || is != 1 {
+		t.Fatalf("all-non-finite column: (%v, %v), want (0, 1)", m, is)
+	}
+	if m, is := momentsOf([]float64{math.NaN(), 3, 7}); m != 5 || is != 0.5 {
+		t.Fatalf("NaN-skipping moments: (%v, %v), want (5, 0.5)", m, is)
+	}
+}
+
+func TestStratifiedSplit(t *testing.T) {
+	mk := func(nHot, nCold int) []core.LabeledClip {
+		out := make([]core.LabeledClip, 0, nHot+nCold)
+		for i := 0; i < nHot+nCold; i++ {
+			out = append(out, core.LabeledClip{Hotspot: i%4 == 0 && nHot > 0 && i/4 < nHot})
+		}
+		// Rebuild exactly: simpler to lay out hot then cold.
+		out = out[:0]
+		for i := 0; i < nHot; i++ {
+			out = append(out, core.LabeledClip{Hotspot: true})
+		}
+		for i := 0; i < nCold; i++ {
+			out = append(out, core.LabeledClip{Hotspot: false})
+		}
+		return out
+	}
+	count := func(set []core.LabeledClip) (hot, cold int) {
+		for _, s := range set {
+			if s.Hotspot {
+				hot++
+			} else {
+				cold++
+			}
+		}
+		return hot, cold
+	}
+
+	train := mk(12, 40)
+	fit, calib := stratifiedSplit(train, 0.25)
+	fh, fc := count(fit)
+	ch, cc := count(calib)
+	if fh == 0 || fc == 0 || ch == 0 || cc == 0 {
+		t.Fatalf("split lost a class: fit=(%d,%d) calib=(%d,%d)", fh, fc, ch, cc)
+	}
+	if fh+ch != 12 || fc+cc != 40 {
+		t.Fatalf("split dropped samples: fit=(%d,%d) calib=(%d,%d)", fh, fc, ch, cc)
+	}
+	frac := float64(len(calib)) / float64(len(train))
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("calib fraction %.2f, want ~0.25", frac)
+	}
+
+	// Deterministic: same input, same split.
+	fit2, calib2 := stratifiedSplit(train, 0.25)
+	if len(fit2) != len(fit) || len(calib2) != len(calib) {
+		t.Fatal("stratifiedSplit is not deterministic")
+	}
+
+	// A singleton class lands on both sides rather than vanishing from
+	// either.
+	train = mk(1, 10)
+	fit, calib = stratifiedSplit(train, 0.25)
+	fh, _ = count(fit)
+	ch, _ = count(calib)
+	if fh != 1 || ch != 1 {
+		t.Fatalf("singleton hotspot: fit hot=%d calib hot=%d, want 1 and 1", fh, ch)
+	}
+
+	// Degenerate fraction falls back to the default instead of panicking.
+	fit, calib = stratifiedSplit(train, 0)
+	if len(fit) == 0 || len(calib) == 0 {
+		t.Fatalf("zero fraction: fit=%d calib=%d", len(fit), len(calib))
+	}
+}
+
+func TestCalibrateProperties(t *testing.T) {
+	// Two synthetic stages over 200 clips: stage 0 weakly separates,
+	// stage 1 strongly separates.
+	rng := rand.New(rand.NewSource(11))
+	n := 200
+	labels := make([]int, n)
+	s0 := make([]float64, n)
+	s1 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		hot := rng.Float64() < 0.3
+		if hot {
+			labels[i] = 1
+		}
+		base := 0.0
+		if hot {
+			base = 1
+		}
+		s0[i] = base + rng.NormFloat64()*0.8
+		s1[i] = base + rng.NormFloat64()*0.2
+	}
+	cals, err := calibrate([][]float64{s0, s1}, labels, Config{MaxStageError: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cals) != 2 {
+		t.Fatalf("got %d calibrations, want 2", len(cals))
+	}
+	if len(cals[0].Weights) != 1 || len(cals[1].Weights) != 2 {
+		t.Fatalf("stacker widths = (%d, %d), want (1, 2)",
+			len(cals[0].Weights), len(cals[1].Weights))
+	}
+	// The final stage never answers by band; its band must be the
+	// escalation sentinel.
+	if cals[1].Band != AlwaysEscalate {
+		t.Fatalf("final band = %+v, want AlwaysEscalate", cals[1].Band)
+	}
+	// Stage 0's band must honor the budget on its own calibration data.
+	probs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		probs[i] = cals[0].prob([]float64{s0[i]})
+	}
+	loErr, hiErr := errFrac(probs, labels, cals[0].Band)
+	if loErr > 0.05 || hiErr > 0.05 {
+		t.Fatalf("stage-0 band %+v violates eps=0.05: lo=%.3f hi=%.3f",
+			cals[0].Band, loErr, hiErr)
+	}
+	// The strong stage separates the classes, so its stacker must rank
+	// hotspots above non-hotspots on average.
+	var hotMean, coldMean float64
+	var nh, nc int
+	for i := 0; i < n; i++ {
+		p := cals[1].prob([]float64{s0[i], s1[i]})
+		if labels[i] == 1 {
+			hotMean += p
+			nh++
+		} else {
+			coldMean += p
+			nc++
+		}
+	}
+	if hotMean/float64(nh) <= coldMean/float64(nc) {
+		t.Fatalf("stacker ranks hotspots below non-hotspots: %.3f vs %.3f",
+			hotMean/float64(nh), coldMean/float64(nc))
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := calibrate(nil, nil, Config{}); err == nil {
+		t.Fatal("calibrate with no stages: want error")
+	}
+	// Single-class calibration cannot fit a stacker.
+	_, err := calibrate([][]float64{{0.1, 0.2, 0.3}}, []int{1, 1, 1}, Config{})
+	if err == nil || !strings.Contains(err.Error(), "stacker") {
+		t.Fatalf("single-class calibrate: err = %v, want stacker error", err)
+	}
+}

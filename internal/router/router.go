@@ -1,0 +1,532 @@
+// Package router implements an EPIC-style meta-classifier over the
+// detector zoo: a cascade of detectors ordered cheap→expensive, with a
+// calibrated logistic stacker deciding after each stage whether the
+// accumulated evidence is confident enough to answer or the clip must
+// escalate. The pattern matcher and boost answer the easy majority in
+// microseconds; the SVM/CNN tail only sees the uncertain band, so the
+// cascade's ODST approaches the cheap detectors' while its accuracy
+// approaches the deep one's.
+//
+// Routing equivalence contract (pinned by property tests):
+//
+//  1. A stage only answers when its calibrated confidence clears the
+//     band AND its own thresholded verdict agrees, so the verdict the
+//     router reports for any clip is bit-identical to the verdict of
+//     the stage that answered it, for every band setting.
+//  2. With every non-final band forced to AlwaysEscalate the router's
+//     predictions reduce exactly to the final (deep) detector's — same
+//     confusion matrix on any evaluation set.
+//
+// The router is a first-class core.Detector: it clones per scan worker
+// (members that mutate caches clone with it), batch-scores stage-wise
+// over the still-active subset, and its Score is a deterministic pure
+// function of the clip — so scanfarm journals, the clip cache, and
+// kill-resume scans behave exactly as they do for any other detector.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"github.com/golitho/hsd/internal/core"
+	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/telemetry"
+	"github.com/golitho/hsd/internal/trace"
+)
+
+var errNotFitted = errors.New("router: not fitted")
+
+// Stage is one rung of the cascade: a named detector, cheapest first.
+type Stage struct {
+	Name     string
+	Detector core.Detector
+}
+
+// Config parameterizes router fitting.
+type Config struct {
+	// CalibFraction of the training set is held out (deterministic
+	// stratified split) to fit the stackers and bands (default 0.25).
+	CalibFraction float64
+	// MaxStageError is the answered-error budget per stage: each band
+	// is the widest pair of cut points whose answered clips stay at or
+	// below this empirical error rate on the calibration split
+	// (default 0.02).
+	MaxStageError float64
+	// Seed drives the stacker training.
+	Seed int64
+	// Augment is applied to the member-fit split only, never the
+	// calibration split — bands must be fitted on the real class
+	// balance, not the upsampled one.
+	Augment core.AugmentConfig
+	// ForceBand, when non-nil, overrides every fitted non-final band —
+	// the CLI threshold flags and the always-escalate equivalence mode.
+	ForceBand *Band
+}
+
+func (c *Config) normalize() {
+	if c.CalibFraction <= 0 || c.CalibFraction >= 1 {
+		c.CalibFraction = 0.25
+	}
+	if c.MaxStageError <= 0 {
+		c.MaxStageError = 0.02
+	}
+}
+
+// Decision is the full routing outcome for one clip.
+type Decision struct {
+	// Stage is the index of the answering stage; StageName its name.
+	Stage     int
+	StageName string
+	// Hotspot is the answering stage's own thresholded verdict.
+	Hotspot bool
+	// Confidence is the calibrated stacker probability at the
+	// answering stage.
+	Confidence float64
+	// Score is the router score: Confidence clamped onto the Hotspot
+	// side of the 0.5 threshold, so Score >= Threshold() == Hotspot.
+	Score float64
+}
+
+// StageStats is a point-in-time snapshot of one stage's routing
+// counters.
+type StageStats struct {
+	Name         string
+	AnsweredHot  int64
+	AnsweredCold int64
+	Escalated    int64
+	// Seconds is cumulative wall time spent scoring in this stage.
+	Seconds float64
+}
+
+// Answered is the total clips this stage answered.
+func (s StageStats) Answered() int64 { return s.AnsweredHot + s.AnsweredCold }
+
+// stageCounters are the live atomic counters behind StageStats. They
+// are shared across clones (one routing history per router, however
+// many scan workers), and they never feed back into scores, so routed
+// scans stay byte-deterministic.
+type stageCounters struct {
+	answeredHot  atomic.Int64
+	answeredCold atomic.Int64
+	escalated    atomic.Int64
+	nanos        atomic.Int64
+}
+
+// routerStats is the state shared by every clone of one router: the
+// live counters plus the telemetry binding. mets is an atomic pointer
+// because hsdserve binds telemetry after serve.New has already cloned
+// the detector — clones must observe a late BindMetrics, and binding
+// can race with a clone that is mid-score.
+type routerStats struct {
+	stages []stageCounters
+	mets   atomic.Pointer[[]stageMetrics]
+}
+
+// stageMetrics are the optional telemetry series per stage.
+type stageMetrics struct {
+	hot, cold, esc *telemetry.Counter
+	sec            *telemetry.Histogram
+}
+
+// Router routes clips through the staged cascade. Fit before scoring.
+// Score mutates member caches when members do, so the Router is a
+// core.Cloner: scans and servers give each goroutine its own clone.
+// ScoreBatch is concurrent-safe regardless (members that are cloners
+// but not batch scorers are cloned per call).
+type Router struct {
+	name   string
+	stages []Stage
+	cfg    Config
+	cals   []Calibration
+	fitted bool
+	stats  *routerStats
+}
+
+// New builds an unfitted router over stages (cheapest first; the final
+// stage is the escalation anchor and always answers).
+func New(name string, stages []Stage, cfg Config) *Router {
+	cfg.normalize()
+	if name == "" {
+		name = "Router"
+	}
+	return &Router{
+		name:   name,
+		stages: stages,
+		cfg:    cfg,
+		stats:  &routerStats{stages: make([]stageCounters, len(stages))},
+	}
+}
+
+var (
+	_ core.Detector       = (*Router)(nil)
+	_ core.Cloner         = (*Router)(nil)
+	_ core.BatchScorer    = (*Router)(nil)
+	_ core.CtxScorer      = (*Router)(nil)
+	_ core.CtxBatchScorer = (*Router)(nil)
+	_ core.CtxFitter      = (*Router)(nil)
+)
+
+// Name implements core.Detector.
+func (r *Router) Name() string { return r.name }
+
+// Threshold implements core.Detector: router scores are calibrated
+// probabilities clamped to the verdict side of 0.5.
+func (r *Router) Threshold() float64 { return 0.5 }
+
+// Stages returns the cascade's stage list.
+func (r *Router) Stages() []Stage { return r.stages }
+
+// ForceBand overrides every non-final fitted band with b. Call before
+// Fit (the CLI threshold flags route through here).
+func (r *Router) ForceBand(b Band) { r.cfg.ForceBand = &b }
+
+// SetMaxStageError overrides the per-stage answered-error budget used
+// by the next Fit. Non-positive values are ignored.
+func (r *Router) SetMaxStageError(eps float64) {
+	if eps > 0 {
+		r.cfg.MaxStageError = eps
+	}
+}
+
+// Calibrations returns the fitted per-stage calibrations (nil before
+// Fit).
+func (r *Router) Calibrations() []Calibration { return r.cals }
+
+// SetCalibrations installs externally built calibrations and marks the
+// router fitted. The member detectors must already be fitted by the
+// caller. Used by tests and by callers that persist calibration state.
+func (r *Router) SetCalibrations(cals []Calibration) error {
+	if len(cals) != len(r.stages) {
+		return fmt.Errorf("router: %d calibrations for %d stages", len(cals), len(r.stages))
+	}
+	r.cals = cals
+	r.fitted = true
+	return nil
+}
+
+// Fit implements core.Detector.
+func (r *Router) Fit(train []core.LabeledClip) error {
+	return r.FitCtx(context.Background(), train)
+}
+
+// FitCtx implements core.CtxFitter: the member fits run through their
+// own context-aware paths (checkpoint spans, cooperative interruption),
+// then the calibration pass runs under a router.calibrate span.
+func (r *Router) FitCtx(ctx context.Context, train []core.LabeledClip) error {
+	if len(r.stages) == 0 {
+		return errors.New("router: no stages")
+	}
+	if len(train) == 0 {
+		return errors.New("router: empty training set")
+	}
+	fitSet, calibSet := stratifiedSplit(train, r.cfg.CalibFraction)
+	if len(fitSet) == 0 {
+		fitSet = train
+	}
+	if len(calibSet) == 0 {
+		calibSet = train
+	}
+	fitSet = core.AugmentMinority(fitSet, r.cfg.Augment)
+	for i, st := range r.stages {
+		if err := core.FitClipsCtx(ctx, st.Detector, fitSet); err != nil {
+			return fmt.Errorf("router: fit stage %d (%s): %w", i, st.Name, err)
+		}
+	}
+
+	ctx, sp := trace.Start(ctx, "router.calibrate",
+		trace.A("router", r.name))
+	defer sp.End()
+	sp.SetAttrInt("calib_clips", len(calibSet))
+
+	clips := make([]layout.Clip, len(calibSet))
+	labels := make([]int, len(calibSet))
+	for i, s := range calibSet {
+		clips[i] = s.Clip
+		if s.Hotspot {
+			labels[i] = 1
+		}
+	}
+	scores := make([][]float64, len(r.stages))
+	for i, st := range r.stages {
+		s, err := core.ScoreClipsCtx(ctx, st.Detector, clips)
+		if err != nil {
+			sp.SetError(err)
+			return fmt.Errorf("router: calibrate stage %d (%s): %w", i, st.Name, err)
+		}
+		scores[i] = s
+	}
+	cals, err := calibrate(scores, labels, r.cfg)
+	if err != nil {
+		sp.SetError(err)
+		return err
+	}
+	if r.cfg.ForceBand != nil {
+		for i := range cals[:len(cals)-1] {
+			cals[i].Band = *r.cfg.ForceBand
+		}
+	}
+	r.cals = cals
+	r.fitted = true
+	return nil
+}
+
+// decide applies the routing rule at one stage. The verdict is the
+// stage detector's own raw thresholded call; the band only governs
+// whether that verdict is confident enough to answer. Lo is checked
+// before Hi so overlapping bands stay deterministic.
+func decide(last bool, p float64, verdict bool, band Band) (hot, answered bool) {
+	if last {
+		return verdict, true
+	}
+	if p <= band.Lo && !verdict {
+		return false, true
+	}
+	if p >= band.Hi && verdict {
+		return true, true
+	}
+	return false, false
+}
+
+// encode clamps the calibrated confidence onto the verdict side of the
+// 0.5 threshold, so core.Predict over the router reproduces the
+// answering stage's raw verdict bit-for-bit. A non-finite confidence
+// degrades to the boundary value for its verdict.
+func encode(p float64, hot bool) float64 {
+	if hot {
+		if p >= 0.5 && !math.IsNaN(p) {
+			return p
+		}
+		return 0.5
+	}
+	if p < 0.5 {
+		return p
+	}
+	return math.Nextafter(0.5, 0)
+}
+
+// note records one routing outcome into the shared counters and the
+// bound telemetry, attributing dt of scoring time to stage i.
+func (r *Router) note(i int, hot, answered bool, dt time.Duration) {
+	c := &r.stats.stages[i]
+	c.nanos.Add(int64(dt))
+	switch {
+	case !answered:
+		c.escalated.Add(1)
+	case hot:
+		c.answeredHot.Add(1)
+	default:
+		c.answeredCold.Add(1)
+	}
+	if mp := r.stats.mets.Load(); mp != nil && i < len(*mp) {
+		m := (*mp)[i]
+		switch {
+		case !answered:
+			m.esc.Inc()
+		case hot:
+			m.hot.Inc()
+		default:
+			m.cold.Inc()
+		}
+		if dt > 0 {
+			m.sec.ObserveDuration(dt)
+		}
+	}
+}
+
+// Route scores one clip through the cascade and returns the full
+// routing decision.
+func (r *Router) Route(clip layout.Clip) (Decision, error) {
+	return r.RouteCtx(context.Background(), clip)
+}
+
+// RouteCtx is Route with stage spans on the context's trace.
+func (r *Router) RouteCtx(ctx context.Context, clip layout.Clip) (Decision, error) {
+	if !r.fitted {
+		return Decision{}, errNotFitted
+	}
+	scores := make([]float64, 0, len(r.stages))
+	for i, st := range r.stages {
+		t0 := time.Now()
+		s, err := core.ScoreClipCtx(ctx, st.Detector, clip)
+		dt := time.Since(t0)
+		if err != nil {
+			return Decision{}, fmt.Errorf("router: stage %d (%s): %w", i, st.Name, err)
+		}
+		scores = append(scores, s)
+		p := r.cals[i].prob(scores)
+		verdict := s >= st.Detector.Threshold()
+		hot, answered := decide(i == len(r.stages)-1, p, verdict, r.cals[i].Band)
+		r.note(i, hot, answered, dt)
+		if answered {
+			return Decision{
+				Stage:      i,
+				StageName:  st.Name,
+				Hotspot:    hot,
+				Confidence: p,
+				Score:      encode(p, hot),
+			}, nil
+		}
+	}
+	return Decision{}, errors.New("router: no stage answered")
+}
+
+// Score implements core.Detector.
+func (r *Router) Score(clip layout.Clip) (float64, error) {
+	d, err := r.Route(clip)
+	return d.Score, err
+}
+
+// ScoreCtx implements core.CtxScorer.
+func (r *Router) ScoreCtx(ctx context.Context, clip layout.Clip) (float64, error) {
+	d, err := r.RouteCtx(ctx, clip)
+	return d.Score, err
+}
+
+// ScoreBatch implements core.BatchScorer: stage-wise batching over the
+// still-active subset, bit-identical per clip to Score. Safe for
+// concurrent use: members that clone-for-safety but lack a batch path
+// are cloned per call.
+func (r *Router) ScoreBatch(clips []layout.Clip) ([]float64, error) {
+	return r.ScoreBatchCtx(context.Background(), clips)
+}
+
+// ScoreBatchCtx implements core.CtxBatchScorer.
+func (r *Router) ScoreBatchCtx(ctx context.Context, clips []layout.Clip) ([]float64, error) {
+	if !r.fitted {
+		return nil, errNotFitted
+	}
+	out := make([]float64, len(clips))
+	scores := make([][]float64, len(clips))
+	active := make([]int, len(clips))
+	for i := range active {
+		active[i] = i
+	}
+	for i, st := range r.stages {
+		if len(active) == 0 {
+			break
+		}
+		sub := make([]layout.Clip, len(active))
+		for k, idx := range active {
+			sub[k] = clips[idx]
+		}
+		det := st.Detector
+		if _, batch := det.(core.BatchScorer); !batch {
+			if c, ok := det.(core.Cloner); ok {
+				det = c.CloneDetector()
+			}
+		}
+		t0 := time.Now()
+		s, err := core.ScoreClipsCtx(ctx, det, sub)
+		dt := time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("router: stage %d (%s): %w", i, st.Name, err)
+		}
+		// Per-clip time attribution inside a batch is not observable;
+		// charge the batch's stage time once and split counters per
+		// clip.
+		if len(active) > 0 {
+			dt /= time.Duration(len(active))
+		}
+		last := i == len(r.stages)-1
+		thr := st.Detector.Threshold()
+		var next []int
+		for k, idx := range active {
+			scores[idx] = append(scores[idx], s[k])
+			p := r.cals[i].prob(scores[idx])
+			verdict := s[k] >= thr
+			hot, answered := decide(last, p, verdict, r.cals[i].Band)
+			r.note(i, hot, answered, dt)
+			if answered {
+				out[idx] = encode(p, hot)
+			} else {
+				next = append(next, idx)
+			}
+		}
+		active = next
+	}
+	return out, nil
+}
+
+// CloneDetector implements core.Cloner: member detectors that are
+// themselves cloners get private clones (their Score mutates caches);
+// calibrations are shared read-only; routing counters and telemetry
+// stay shared so the stats describe the whole router, not one worker.
+func (r *Router) CloneDetector() core.Detector {
+	cl := *r
+	cl.stages = make([]Stage, len(r.stages))
+	copy(cl.stages, r.stages)
+	for i := range cl.stages {
+		if c, ok := cl.stages[i].Detector.(core.Cloner); ok {
+			cl.stages[i].Detector = c.CloneDetector()
+		}
+	}
+	return &cl
+}
+
+// Stats snapshots the per-stage routing counters.
+func (r *Router) Stats() []StageStats {
+	out := make([]StageStats, len(r.stages))
+	for i, st := range r.stages {
+		c := &r.stats.stages[i]
+		out[i] = StageStats{
+			Name:         st.Name,
+			AnsweredHot:  c.answeredHot.Load(),
+			AnsweredCold: c.answeredCold.Load(),
+			Escalated:    c.escalated.Load(),
+			Seconds:      float64(c.nanos.Load()) / 1e9,
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes the routing counters (telemetry series, being
+// monotone, are left alone).
+func (r *Router) ResetStats() {
+	for i := range r.stats.stages {
+		c := &r.stats.stages[i]
+		c.answeredHot.Store(0)
+		c.answeredCold.Store(0)
+		c.escalated.Store(0)
+		c.nanos.Store(0)
+	}
+}
+
+// stageSecondsBuckets span microsecond pattern-match hits to second-
+// scale CNN escalations.
+var stageSecondsBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10,
+}
+
+// BindMetrics registers the router's telemetry on reg:
+//
+//	hotspot_router_stage_total{stage,outcome}  — clips per stage by
+//	    outcome (answered_hot / answered_cold / escalated)
+//	router_stage_seconds{stage}                — scoring latency
+//
+// The binding lands in the state shared by every clone, so binding
+// after clones exist (hsdserve binds after serve.New has cloned the
+// scorer) still routes their outcomes onto the series.
+func (r *Router) BindMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.SetHelp("hotspot_router_stage_total",
+		"Clips routed per cascade stage, by outcome (answered_hot, answered_cold, escalated).")
+	reg.SetHelp("router_stage_seconds",
+		"Wall-clock scoring latency per cascade stage.")
+	mets := make([]stageMetrics, len(r.stages))
+	for i, st := range r.stages {
+		stage := telemetry.L("stage", st.Name)
+		mets[i] = stageMetrics{
+			hot:  reg.Counter("hotspot_router_stage_total", stage, telemetry.L("outcome", "answered_hot")),
+			cold: reg.Counter("hotspot_router_stage_total", stage, telemetry.L("outcome", "answered_cold")),
+			esc:  reg.Counter("hotspot_router_stage_total", stage, telemetry.L("outcome", "escalated")),
+			sec:  reg.Histogram("router_stage_seconds", stageSecondsBuckets, stage),
+		}
+	}
+	r.stats.mets.Store(&mets)
+}

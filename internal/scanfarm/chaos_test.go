@@ -14,18 +14,75 @@ package scanfarm
 
 import (
 	"context"
+	"math"
 	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
 
+	"github.com/golitho/hsd/internal/core"
 	"github.com/golitho/hsd/internal/faultinject"
+	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/resilience"
+	"github.com/golitho/hsd/internal/router"
 )
 
+// fnDetector is a pure-function detector for router cascades in chaos
+// tests; like densityDetector it is deterministic and translation-
+// invariant, which the journal and clip cache rely on.
+type fnDetector struct {
+	name string
+	thr  float64
+	fn   func(layout.Clip) float64
+}
+
+func (d fnDetector) Name() string                         { return d.name }
+func (d fnDetector) Fit([]core.LabeledClip) error         { return nil }
+func (d fnDetector) Threshold() float64                   { return d.thr }
+func (d fnDetector) Score(c layout.Clip) (float64, error) { return d.fn(c), nil }
+
+// chaosRouter builds a fitted two-stage router whose bands split the
+// test chip's windows between the stages: dense windows answer at the
+// cheap stage, sparse ones escalate — so kill-resume covers the routed
+// scan path end to end.
+func chaosRouter(t testing.TB) *router.Router {
+	t.Helper()
+	r := router.New("router", []router.Stage{
+		{Name: "cheap", Detector: fnDetector{name: "cheap", thr: 0.5, fn: func(c layout.Clip) float64 {
+			d := c.Density()
+			return d + 0.1*math.Sin(53*d)
+		}}},
+		{Name: "deep", Detector: fnDetector{name: "deep", thr: 0.5, fn: func(c layout.Clip) float64 {
+			return c.Density()
+		}}},
+	}, router.Config{})
+	err := r.SetCalibrations([]router.Calibration{
+		{Weights: []float64{4}, Mean: []float64{0.5}, InvStd: []float64{1},
+			Band: router.Band{Lo: 0.05, Hi: 0.7}},
+		{Weights: []float64{2, 2}, Mean: []float64{0.5, 0.5}, InvStd: []float64{1, 1},
+			Band: router.AlwaysEscalate},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func TestChaosFarmKillResume(t *testing.T) {
+	cases := []struct {
+		name string
+		det  core.Detector
+	}{
+		{"density", densityDetector{thr: 0.5}},
+		{"router", chaosRouter(t)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runKillResume(t, tc.det) })
+	}
+}
+
+func runKillResume(t *testing.T, det core.Detector) {
 	chip := testChip(t, 10)
-	det := densityDetector{thr: 0.5}
 	base := Config{SkipEmpty: true, Workers: 3, ShardRows: 1, Retry: fastRetry()}
 	want := referenceFindings(t, chip, det, base)
 	meta := base.Meta(chip, det.Name())
@@ -151,9 +208,9 @@ func TestChaosFarmConcurrentCache(t *testing.T) {
 	det := densityDetector{thr: 0.1}
 	faultinject.Set(WindowScoreSite, faultinject.Fault{Err: errTransient, Count: 5, Skip: 7})
 	cfg := Config{
-		SkipEmpty:   true,
-		Workers:     8,
-		ShardRows:   1,
+		SkipEmpty: true,
+		Workers:   8,
+		ShardRows: 1,
 		// Smaller than the chip's distinct canonical-clip count (~16)
 		// so the LRU eviction path is exercised under contention.
 		CacheSize:   8,

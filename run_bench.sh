@@ -48,4 +48,24 @@ echo "$scan_out" | awk -v ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 		}
 		printf("{\"ts\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n", ts, name, ns, bytes, allocs)
 	}' >> BENCH_scan.json
+echo "# chunk G: router frontier, per-stage ODST and escalation rate (appends trajectory to BENCH_router.json)" >> bench_output.txt
+router_out=$(go test -timeout 60m -bench 'RouterFrontier' -benchtime 1x -run XXX . 2>&1)
+echo "$router_out" >> bench_output.txt
+echo "$router_out" | awk -v ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+	/^Benchmark/ {
+		# Emit every value/unit metric pair the harness reported —
+		# ns/op plus the custom router metrics (router_recall,
+		# router_odst_us, deep_recall, deep_odst_us, deep_frac,
+		# stageN_s) — as one JSON line.
+		printf("{\"ts\":\"%s\",\"name\":\"%s\"", ts, $1)
+		for (i = 2; i < NF; i++) {
+			unit = $(i+1)
+			if (unit ~ /^[A-Za-z_][A-Za-z0-9_\/]*$/ && $i ~ /^[0-9.e+-]+$/) {
+				gsub(/\//, "_per_", unit)
+				printf(",\"%s\":%s", unit, $i)
+				i++
+			}
+		}
+		printf("}\n")
+	}' >> BENCH_router.json
 echo "# done" >> bench_output.txt

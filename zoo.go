@@ -108,6 +108,19 @@ func StandardAugment() AugmentConfig {
 	return AugmentConfig{UpsampleFactor: 4, Mirror: true}
 }
 
+// StandardRouter is the EPIC-style meta-classifier cascade over the
+// zoo: fuzzy pattern matching answers the repeats, AdaBoost the easy
+// geometry, and the biased CNN anchors the uncertain band. The member
+// augmentation is applied inside the router to the member-fit split
+// only, so the zoo spec carries none.
+func StandardRouter(seed int64) *RouterDetector {
+	return NewRouterDetector("Router", []RouterStage{
+		{Name: "pm-fuzzy", Detector: StandardFuzzyPM()},
+		{Name: "boost", Detector: StandardAdaBoost()},
+		{Name: "cnn", Detector: StandardCNN(seed, 0.25, "router-cnn")},
+	}, RouterConfig{Seed: seed, Augment: StandardAugment()})
+}
+
 // SurveyZoo returns the survey's detector line-up, shallow to deep.
 func SurveyZoo(seed int64) []DetectorSpec {
 	return []DetectorSpec{
@@ -126,5 +139,7 @@ func SurveyZoo(seed int64) []DetectorSpec {
 			Augment: StandardAugment()},
 		{Name: "CNN-plain", Deep: true,
 			New: func() Detector { return StandardCNN(seed, 0, "cnn-plain") }},
+		{Name: "Router", Deep: true,
+			New: func() Detector { return StandardRouter(seed) }},
 	}
 }

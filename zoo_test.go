@@ -1,0 +1,84 @@
+package hsd
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/golitho/hsd/internal/nn"
+)
+
+// reduceEpochs shrinks neural training to a couple of epochs so the
+// whole zoo trains within test time; accuracy is not under test here,
+// only that every spec's construct/fit/score/persist cycle works. The
+// router is recursed so its CNN stage is shrunk too.
+func reduceEpochs(det Detector) {
+	switch d := det.(type) {
+	case *NeuralDetector:
+		d.Cfg.Epochs = 2
+	case *RouterDetector:
+		for _, s := range d.Stages() {
+			reduceEpochs(s.Detector)
+		}
+	}
+}
+
+// TestZooSpecTrainRoundTrip trains every zoo spec on the shared facade
+// benchmark, checks it produces finite scores on held-out clips, and for
+// neural detectors round-trips the network through Save/Load asserting
+// bit-identical scores. TestZooSpecs only checks construction; this is
+// the train-path coverage for each DetectorSpec.
+func TestZooSpecTrainRoundTrip(t *testing.T) {
+	b := facadeBenchmark(t)
+	train := FromSamples(b.Train.Samples)
+	test := FromSamples(b.Test.Samples)
+	if len(test) > 8 {
+		test = test[:8]
+	}
+	for _, spec := range SurveyZoo(5) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			det := spec.New()
+			reduceEpochs(det)
+			if err := det.Fit(AugmentMinority(train, spec.Augment)); err != nil {
+				t.Fatalf("fit: %v", err)
+			}
+			scores := make([]float64, len(test))
+			for i, lc := range test {
+				s, err := det.Score(lc.Clip)
+				if err != nil {
+					t.Fatalf("score clip %d: %v", i, err)
+				}
+				if math.IsNaN(s) || math.IsInf(s, 0) {
+					t.Fatalf("clip %d: non-finite score %v", i, s)
+				}
+				scores[i] = s
+			}
+			nd, ok := det.(*NeuralDetector)
+			if !ok {
+				return
+			}
+			var buf bytes.Buffer
+			if err := SaveNetwork(&buf, nd); err != nil {
+				t.Fatalf("save network: %v", err)
+			}
+			net, err := nn.Load(&buf)
+			if err != nil {
+				t.Fatalf("load network: %v", err)
+			}
+			loaded, err := nd.WithNetwork(net)
+			if err != nil {
+				t.Fatalf("with network: %v", err)
+			}
+			for i, lc := range test {
+				s, err := loaded.Score(lc.Clip)
+				if err != nil {
+					t.Fatalf("reloaded score clip %d: %v", i, err)
+				}
+				if math.Float64bits(s) != math.Float64bits(scores[i]) {
+					t.Fatalf("clip %d: reloaded score %v != original %v", i, s, scores[i])
+				}
+			}
+		})
+	}
+}
