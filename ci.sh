@@ -101,4 +101,18 @@ echo "== reload smoke =="
 # model is refused.
 ./scripts/reload_smoke.sh
 
+echo "== quality monitor determinism =="
+# The sketch/confusion snapshots must be byte-identical for the same
+# event multiset under any worker count, and the OnCollect contract
+# must hold while hooks register mid-scrape; both only mean anything
+# under the race detector.
+go test -run 'TestSnapshotDeterministic|TestOnCollectConcurrent' -race ./internal/qualitymon/ ./internal/telemetry/
+
+echo "== quality smoke =="
+# End to end: hsdtrain writes a score-distribution baseline sidecar,
+# hot reload installs it, an injected covariate shift pages
+# hotspot_quality_alert_state within the fast window, and rollback
+# clears the alert through the ClearHold hysteresis.
+./scripts/quality_smoke.sh
+
 echo "ci: all checks passed"

@@ -26,6 +26,7 @@ import (
 	hsd "github.com/golitho/hsd"
 	"github.com/golitho/hsd/internal/experiments"
 	"github.com/golitho/hsd/internal/nn"
+	"github.com/golitho/hsd/internal/telemetry"
 	"github.com/golitho/hsd/internal/trace"
 )
 
@@ -48,7 +49,14 @@ func run() error {
 	routerLo := flag.Float64("router-lo", -1, "router: force the low confidence cut (with -router-hi)")
 	routerHi := flag.Float64("router-hi", -1, "router: force the high confidence cut (with -router-lo)")
 	routerEps := flag.Float64("router-eps", 0, "router: per-stage answered-error budget for band fitting (0 = default)")
+	version := flag.Bool("version", false, "print build info (the hotspot_build_info fields) and exit")
 	flag.Parse()
+
+	if *version {
+		goVersion, revision := telemetry.BuildInfo()
+		fmt.Printf("hsdeval go_version=%s revision=%s\n", goVersion, revision)
+		return nil
+	}
 
 	prec, err := nn.ParsePrecision(*precFlag)
 	if err != nil {

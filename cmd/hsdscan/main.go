@@ -35,6 +35,8 @@ import (
 	"time"
 
 	hsd "github.com/golitho/hsd"
+	"github.com/golitho/hsd/internal/qualitymon"
+	"github.com/golitho/hsd/internal/telemetry"
 	"github.com/golitho/hsd/internal/trace"
 )
 
@@ -66,7 +68,15 @@ func run() error {
 	routerLo := flag.Float64("router-lo", -1, "router: force the low confidence cut (with -router-hi; -detector Router)")
 	routerHi := flag.Float64("router-hi", -1, "router: force the high confidence cut (with -router-lo; -detector Router)")
 	routerEps := flag.Float64("router-eps", 0, "router: per-stage answered-error budget for band fitting (0 = default)")
+	qualityBaseline := flag.String("quality-baseline", "", "training-score baseline (from hsdtrain -quality-baseline); prints a drift report over the scanned windows")
+	version := flag.Bool("version", false, "print build info (the hotspot_build_info fields) and exit")
 	flag.Parse()
+
+	if *version {
+		goVersion, revision := telemetry.BuildInfo()
+		fmt.Printf("hsdscan go_version=%s revision=%s\n", goVersion, revision)
+		return nil
+	}
 
 	if *resume && *journalPath == "" {
 		return fmt.Errorf("-resume requires -journal")
@@ -167,12 +177,35 @@ func run() error {
 		ctx, root = trace.Start(ctx, "hsdscan",
 			trace.A("detector", det.Name()), trace.A("chip", chip.Name))
 	}
+	// Drift report: every scanned window lands in a quality monitor
+	// whose baseline is the training-score histogram. One giant
+	// sub-window keeps the whole scan inside the sketch ring regardless
+	// of how long it runs.
+	var qm *qualitymon.Monitor
+	if *qualityBaseline != "" {
+		b, err := qualitymon.LoadBaselineFile(*qualityBaseline)
+		if err != nil {
+			return fmt.Errorf("-quality-baseline: %w", err)
+		}
+		// The scanfarm taps stage "scan"; the training baseline records
+		// stage "primary" for the same detector. Rekey so they compare.
+		for i := range b.Entries {
+			if b.Entries[i].Stage == "primary" {
+				b.Entries[i].Stage = "scan"
+			}
+		}
+		b.Sort()
+		qm = qualitymon.New(qualitymon.Options{SubWindow: 24 * time.Hour})
+		defer qm.Close()
+		qm.InstallBaseline(b)
+	}
 	farmCfg := hsd.ScanFarmConfig{
 		SkipEmpty: true,
 		Workers:   *workers,
 		ShardRows: *shardRows,
 		CacheSize: *cacheSize,
 		Metrics:   reg,
+		Quality:   qm,
 	}
 	if *journalPath != "" {
 		meta := farmCfg.Meta(chip, det.Name())
@@ -222,6 +255,18 @@ func run() error {
 			fmt.Printf("router stage %-10s answered %6d (hot %5d, cold %6d)  escalated %6d  %8.3fs\n",
 				s.Name, s.Answered(), s.AnsweredHot, s.AnsweredCold, s.Escalated, s.Seconds)
 		}
+	}
+	if qm != nil {
+		snap := qm.Snapshot()
+		for _, sk := range snap.Sketches {
+			if !sk.Baseline {
+				continue
+			}
+			fmt.Printf("drift %s/%s: psi=%.4f max_bin_kl=%.4f over %d windows (p50=%.3f p90=%.3f p99=%.3f)\n",
+				sk.Detector, sk.Stage, sk.PSI, sk.MaxBinKL, sk.Slow, sk.P50, sk.P90, sk.P99)
+		}
+		fmt.Printf("quality alert: %s (max psi %.4f on %s)\n",
+			snap.Alert.Name, snap.Alert.MaxPSI, snap.Alert.MaxPSIBy)
 	}
 	if *findingsOut != "" {
 		if err := writeFindings(*findingsOut, findings); err != nil {

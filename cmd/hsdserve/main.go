@@ -71,10 +71,13 @@ import (
 
 	hsd "github.com/golitho/hsd"
 	"github.com/golitho/hsd/internal/core"
+	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/lithosim"
 	"github.com/golitho/hsd/internal/nn"
+	"github.com/golitho/hsd/internal/qualitymon"
 	"github.com/golitho/hsd/internal/registry"
 	"github.com/golitho/hsd/internal/serve"
+	"github.com/golitho/hsd/internal/telemetry"
 	"github.com/golitho/hsd/internal/tensor"
 	"github.com/golitho/hsd/internal/trace"
 )
@@ -175,7 +178,20 @@ func run() error {
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "max time to write a response (covers /verify simulation)")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
+	quality := flag.Bool("quality", false, "enable model-quality monitoring (score sketches, drift, SLO burn rate, GET /debug/quality); implied by the other -quality-*/-spot-check/-slo flags")
+	qualityBaseline := flag.String("quality-baseline", "", "training-time score-distribution baseline (written by hsdtrain -quality-baseline) for drift scoring")
+	spotCheckRate := flag.Float64("spot-check-rate", 0, "fraction of scored clips re-checked against the lithography oracle in the background (content-keyed, deterministic)")
+	sloTarget := flag.Float64("slo-target", 0.99, "served-without-primary-failure SLO objective for burn-rate alerting")
+	driftThreshold := flag.Float64("drift-threshold", 0.25, "PSI above which a series is drifting (pages the alert; warning at half)")
+	qualityWindow := flag.Duration("quality-window", 10*time.Second, "quality-monitor sub-window; fast alert window is 3 of these, slow is 18")
+	version := flag.Bool("version", false, "print build info (the hotspot_build_info fields) and exit")
 	flag.Parse()
+
+	if *version {
+		goVersion, revision := telemetry.BuildInfo()
+		fmt.Printf("hsdserve go_version=%s revision=%s\n", goVersion, revision)
+		return nil
+	}
 
 	prec, err := nn.ParsePrecision(*precFlag)
 	if err != nil {
@@ -293,6 +309,36 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// Model-quality monitoring: score sketches + drift vs. the training
+	// baseline, oracle spot-checks, SLO burn rate, /debug/quality.
+	var qm *qualitymon.Monitor
+	if *quality || *qualityBaseline != "" || *spotCheckRate > 0 {
+		qm = qualitymon.New(qualitymon.Options{
+			SubWindow:      *qualityWindow,
+			DriftThreshold: *driftThreshold,
+			SLOTarget:      *sloTarget,
+			SpotCheckRate:  *spotCheckRate,
+			Oracle: func(c layout.Clip) (bool, error) {
+				res, err := sim.Simulate(c)
+				if err != nil {
+					return false, err
+				}
+				return res.Hotspot, nil
+			},
+			Logf: log.Printf,
+		})
+		defer qm.Close()
+		if *qualityBaseline != "" {
+			b, err := qualitymon.LoadBaselineFile(*qualityBaseline)
+			if err != nil {
+				return fmt.Errorf("-quality-baseline: %w", err)
+			}
+			qm.InstallBaseline(b)
+			log.Printf("quality baseline installed from %s (%d series)", *qualityBaseline, len(b.Entries))
+		}
+	}
+
 	srv, err := serve.NewServer(serve.Options{
 		Primary:        det,
 		Fallback:       fallback,
@@ -308,7 +354,8 @@ func run() error {
 			SampleRate:    *traceSample,
 			SlowThreshold: *traceSlow,
 		},
-		Reload: reload,
+		Reload:  reload,
+		Quality: qm,
 	})
 	if err != nil {
 		return err
@@ -317,6 +364,18 @@ func run() error {
 		// Per-stage routing counters land on the same /metrics page as
 		// the serving cascade's.
 		rt.BindMetrics(srv.Metrics())
+		if qm != nil {
+			// Per-stage score sketches: the tap observes the calibrated
+			// confidence of every answered routing decision, so drift is
+			// visible per cascade stage, not just on the encoded score.
+			rt.BindQualityTap(func(stage string, p float64, clip layout.Clip) {
+				qm.Observe(qualitymon.Event{
+					Detector: rt.Name(), Stage: stage,
+					Score: p, Threshold: 0.5,
+					Clip: clip, HasClip: true,
+				})
+			})
+		}
 	}
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -33,7 +33,10 @@ import (
 	"time"
 
 	hsd "github.com/golitho/hsd"
+	"github.com/golitho/hsd/internal/core"
+	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/nn"
+	"github.com/golitho/hsd/internal/qualitymon"
 	"github.com/golitho/hsd/internal/telemetry"
 )
 
@@ -57,7 +60,24 @@ func run() error {
 	routerLo := flag.Float64("router-lo", -1, "router: force the low confidence cut (with -router-hi; -detector Router)")
 	routerHi := flag.Float64("router-hi", -1, "router: force the high confidence cut (with -router-lo; -detector Router)")
 	routerEps := flag.Float64("router-eps", 0, "router: per-stage answered-error budget for band fitting (0 = default)")
+	qualityBaseline := flag.String("quality-baseline", "", "write a training-score drift baseline here; \"auto\" with -save writes the <save>.qb sidecar the server's hot reload picks up")
+	qualityBins := flag.Int("quality-bins", 20, "histogram bins per series in the -quality-baseline")
+	version := flag.Bool("version", false, "print build info (the hotspot_build_info fields) and exit")
 	flag.Parse()
+
+	if *version {
+		goVersion, revision := telemetry.BuildInfo()
+		fmt.Printf("hsdtrain go_version=%s revision=%s\n", goVersion, revision)
+		return nil
+	}
+
+	baselinePath := *qualityBaseline
+	if baselinePath == "auto" {
+		if *save == "" {
+			return fmt.Errorf("-quality-baseline auto needs -save")
+		}
+		baselinePath = qualitymon.SidecarPath(*save)
+	}
 
 	f, err := os.Open(*suitePath)
 	if err != nil {
@@ -188,10 +208,56 @@ func run() error {
 		}
 		fmt.Printf("saved network to %s\n", *save)
 	}
+	if baselinePath != "" {
+		// The baseline describes whatever model is being shipped — for an
+		// interrupted run that is the partial model the -save block just
+		// wrote, so the sidecar stays consistent with it.
+		n, err := writeQualityBaseline(baselinePath, det,
+			hsd.FromSamples(bench.Train.Samples), *qualityBins)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("quality baseline (%d series) written to %s\n", n, baselinePath)
+	}
 	if interrupted {
 		return err
 	}
 	return nil
+}
+
+// writeQualityBaseline scores the training split through the trained
+// detector and persists the per-series score histograms hsdserve's
+// drift monitor compares live traffic against. A router additionally
+// contributes one series per cascade stage — the calibrated confidence
+// of the answering stage, captured through the quality tap — so stage
+// drift is attributable even when the blended score looks stable.
+func writeQualityBaseline(path string, det hsd.Detector, train []hsd.LabeledClip, bins int) (int, error) {
+	stageScores := map[string][]float64{}
+	if rt, ok := det.(*hsd.RouterDetector); ok {
+		rt.BindQualityTap(func(stage string, p float64, _ layout.Clip) {
+			stageScores[stage] = append(stageScores[stage], p)
+		})
+		defer rt.BindQualityTap(nil)
+	}
+	scores := make([]float64, 0, len(train))
+	for _, s := range train {
+		sc, err := core.ScoreClipCtx(context.Background(), det, s.Clip)
+		if err != nil {
+			return 0, fmt.Errorf("baseline scoring: %w", err)
+		}
+		scores = append(scores, sc)
+	}
+	b := &qualitymon.Baseline{Version: 1, Entries: []qualitymon.BaselineEntry{
+		qualitymon.NewBaselineEntry(det.Name(), "primary", scores, bins),
+	}}
+	for stage, ss := range stageScores {
+		b.Entries = append(b.Entries, qualitymon.NewBaselineEntry(det.Name(), stage, ss, bins))
+	}
+	b.Sort()
+	if err := qualitymon.SaveBaselineFile(path, b); err != nil {
+		return 0, err
+	}
+	return len(b.Entries), nil
 }
 
 // applyRouterFlags forwards the -router-* threshold flags onto a Router

@@ -1,0 +1,71 @@
+// Drift scores over binned distributions. Both metrics compare the
+// live window's bin proportions against the baseline's and are computed
+// from integer counts, so they inherit the sketches' order independence.
+
+package qualitymon
+
+import "math"
+
+// driftEps smooths zero bins before taking logs. PSI is undefined when
+// either distribution has an empty bin the other does not; the standard
+// fix is to floor proportions at a small epsilon, which bounds the
+// per-bin contribution at ~ln(1/eps) instead of infinity.
+const driftEps = 1e-4
+
+// proportions normalizes counts to a probability vector with epsilon
+// flooring. An all-zero vector returns nil (no data, not "no drift").
+func proportions(counts []int64) []float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		p := float64(c) / float64(total)
+		if p < driftEps {
+			p = driftEps
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// PSI is the Population Stability Index between a live and a baseline
+// bin-count vector: sum over bins of (p_live - p_base) * ln(p_live /
+// p_base). The conventional reading: < 0.1 stable, 0.1-0.25 moderate
+// shift, > 0.25 significant shift (the default page threshold). Returns
+// 0 when either side has no data — drift is only meaningful once both
+// distributions exist.
+func PSI(live, base []int64) float64 {
+	p, q := proportions(live), proportions(base)
+	if p == nil || q == nil || len(p) != len(q) {
+		return 0
+	}
+	var psi float64
+	for i := range p {
+		psi += (p[i] - q[i]) * math.Log(p[i]/q[i])
+	}
+	return psi
+}
+
+// MaxBinKL is the largest single-bin contribution to KL(live ||
+// baseline): max over bins of p * ln(p/q). Where PSI integrates shift
+// across the distribution, this localizes it — a mass spike into one
+// bin (the signature of degenerate inputs or a stuck feature) shows up
+// here first. Returns 0 when either side has no data.
+func MaxBinKL(live, base []int64) float64 {
+	p, q := proportions(live), proportions(base)
+	if p == nil || q == nil || len(p) != len(q) {
+		return 0
+	}
+	var worst float64
+	for i := range p {
+		if kl := p[i] * math.Log(p[i]/q[i]); kl > worst {
+			worst = kl
+		}
+	}
+	return worst
+}

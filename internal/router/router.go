@@ -124,7 +124,14 @@ type stageCounters struct {
 type routerStats struct {
 	stages []stageCounters
 	mets   atomic.Pointer[[]stageMetrics]
+	tap    atomic.Pointer[QualityTap]
 }
+
+// QualityTap observes one answered routing decision: the answering
+// stage's name, the calibrated confidence, and the clip. Installed with
+// BindQualityTap; used by quality monitoring to keep per-stage score
+// sketches without the router importing the monitor.
+type QualityTap func(stage string, p float64, clip layout.Clip)
 
 // stageMetrics are the optional telemetry series per stage.
 type stageMetrics struct {
@@ -362,6 +369,9 @@ func (r *Router) RouteCtx(ctx context.Context, clip layout.Clip) (Decision, erro
 		hot, answered := decide(i == len(r.stages)-1, p, verdict, r.cals[i].Band)
 		r.note(i, hot, answered, dt)
 		if answered {
+			if tp := r.stats.tap.Load(); tp != nil {
+				(*tp)(st.Name, p, clip)
+			}
 			return Decision{
 				Stage:      i,
 				StageName:  st.Name,
@@ -441,6 +451,9 @@ func (r *Router) ScoreBatchCtx(ctx context.Context, clips []layout.Clip) ([]floa
 			hot, answered := decide(last, p, verdict, r.cals[i].Band)
 			r.note(i, hot, answered, dt)
 			if answered {
+				if tp := r.stats.tap.Load(); tp != nil {
+					(*tp)(st.Name, p, clips[idx])
+				}
 				out[idx] = encode(p, hot)
 			} else {
 				next = append(next, idx)
@@ -529,4 +542,16 @@ func (r *Router) BindMetrics(reg *telemetry.Registry) {
 		}
 	}
 	r.stats.mets.Store(&mets)
+}
+
+// BindQualityTap installs (or, with nil, removes) the quality tap. Like
+// BindMetrics, the tap lands in the shared stats, so binding after
+// clones exist reaches every clone, and a clone mid-score observes it
+// on its next answered decision.
+func (r *Router) BindQualityTap(tap QualityTap) {
+	if tap == nil {
+		r.stats.tap.Store(nil)
+		return
+	}
+	r.stats.tap.Store(&tap)
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/golitho/hsd/internal/core"
 	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/qualitymon"
 	"github.com/golitho/hsd/internal/raster"
 )
 
@@ -34,10 +35,10 @@ func (d rasterDetector) Score(c layout.Clip) (float64, error) {
 	return im.Sum() / float64(im.W*im.H), nil
 }
 
-func benchScan(b *testing.B, cacheSize int) {
+func benchScan(b *testing.B, cacheSize int, qm *qualitymon.Monitor) {
 	chip := benchChip(b)
 	det := rasterDetector{thr: 0.1}
-	cfg := Config{SkipEmpty: true, Workers: 2, ShardRows: 2, CacheSize: cacheSize}
+	cfg := Config{SkipEmpty: true, Workers: 2, ShardRows: 2, CacheSize: cacheSize, Quality: qm}
 	var findings []core.Finding
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -50,6 +51,18 @@ func benchScan(b *testing.B, cacheSize int) {
 	_ = findings
 }
 
-func BenchmarkScanFarmColdCache(b *testing.B) { benchScan(b, 0) }
+func BenchmarkScanFarmColdCache(b *testing.B) { benchScan(b, 0, nil) }
 
-func BenchmarkScanFarmWarmCache(b *testing.B) { benchScan(b, 1<<16) }
+func BenchmarkScanFarmWarmCache(b *testing.B) { benchScan(b, 1<<16, nil) }
+
+// The quality-monitor overhead pair behind run_bench.sh chunk H
+// (BENCH_monitor.json): QualityOff is the everyone-pays cost of the nil
+// tap in scoreWindow (must stay within 2% of the cold-cache baseline
+// above); QualityOn adds live sketch updates per window.
+func BenchmarkScanFarmQualityOff(b *testing.B) { benchScan(b, 0, nil) }
+
+func BenchmarkScanFarmQualityOn(b *testing.B) {
+	qm := qualitymon.New(qualitymon.Options{})
+	defer qm.Close()
+	benchScan(b, 0, qm)
+}

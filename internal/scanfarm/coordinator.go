@@ -33,6 +33,7 @@ import (
 	"github.com/golitho/hsd/internal/faultinject"
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/qualitymon"
 	"github.com/golitho/hsd/internal/resilience"
 	"github.com/golitho/hsd/internal/telemetry"
 	"github.com/golitho/hsd/internal/trace"
@@ -409,6 +410,7 @@ func (w *worker) scoreWindow(ctx context.Context, clip layout.Clip) (float64, er
 		key = canon.Fingerprint()
 		if score, ok := w.cache.Get(key); ok {
 			w.mets.cache(true, false)
+			w.observeQuality(canon, score)
 			return score, nil
 		}
 	}
@@ -423,7 +425,20 @@ func (w *worker) scoreWindow(ctx context.Context, clip layout.Clip) (float64, er
 		evicted := w.cache.Put(key, score)
 		w.mets.cache(false, evicted)
 	}
+	w.observeQuality(canon, score)
 	return score, nil
+}
+
+// observeQuality feeds one scored window into the quality monitor as
+// stage "scan". Cache hits are observed too — drift is a property of
+// the scanned traffic, not of which windows happened to miss — and the
+// canonical clip keeps spot-check sampling content-keyed.
+func (w *worker) observeQuality(canon layout.Clip, score float64) {
+	w.cfg.Quality.Observe(qualitymon.Event{
+		Detector: w.det.Name(), Stage: "scan",
+		Score: score, Threshold: w.det.Threshold(),
+		Clip: canon, HasClip: true,
+	})
 }
 
 // safeScore isolates detector panics (and armed WindowScoreSite

@@ -20,6 +20,7 @@ import (
 
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/qualitymon"
 	"github.com/golitho/hsd/internal/resilience"
 	"github.com/golitho/hsd/internal/telemetry"
 )
@@ -166,6 +167,11 @@ type Config struct {
 	// Metrics, when non-nil, receives scan_shards_total{state},
 	// scan_shard_attempts_total, and scan_cache_* series.
 	Metrics *telemetry.Registry
+	// Quality, when non-nil, receives every scored window (stage
+	// "scan") for drift sketches and spot-checking. Cache hits are
+	// observed too: drift is a property of the traffic, not of which
+	// windows happened to miss.
+	Quality *qualitymon.Monitor
 	// Progress, when non-nil, is called after each shard completes with
 	// (shards done, total shards). Serialized.
 	Progress func(done, total int)

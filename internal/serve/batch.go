@@ -21,6 +21,7 @@ import (
 	"github.com/golitho/hsd/internal/core"
 	"github.com/golitho/hsd/internal/faultinject"
 	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/qualitymon"
 	"github.com/golitho/hsd/internal/resilience"
 	"github.com/golitho/hsd/internal/trace"
 )
@@ -163,6 +164,11 @@ func (s *Server) batchCascade(ctx context.Context, items []*batchItem) {
 		if primaryErr == nil {
 			name, thr := prim.det.Name(), prim.det.Threshold()
 			for i, it := range items {
+				s.quality.Observe(qualitymon.Event{
+					Detector: name, Stage: "primary",
+					Score: scores[i], Threshold: thr,
+					Clip: it.clip, HasClip: true,
+				})
 				it.done <- batchResult{resp: ScoreResponse{
 					Detector: name, Score: scores[i],
 					Threshold: thr, Hotspot: scores[i] >= thr,
@@ -201,6 +207,11 @@ func (s *Server) batchCascade(ctx context.Context, items []*batchItem) {
 			continue
 		}
 		s.fallbacks.Inc()
+		s.quality.Observe(qualitymon.Event{
+			Detector: name, Stage: "fallback",
+			Score: score, Threshold: thr,
+			Clip: it.clip, HasClip: true,
+		})
 		it.done <- batchResult{resp: ScoreResponse{
 			Detector: name, Score: score,
 			Threshold: thr, Hotspot: score >= thr,

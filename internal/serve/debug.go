@@ -110,5 +110,8 @@ func (s *Server) DebugMux() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/traces/chrome", s.handleTracesChrome)
+	if s.quality != nil {
+		mux.HandleFunc("/debug/quality", s.handleQuality)
+	}
 	return mux
 }

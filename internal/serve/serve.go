@@ -45,6 +45,7 @@ import (
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/lithosim"
+	"github.com/golitho/hsd/internal/qualitymon"
 	"github.com/golitho/hsd/internal/registry"
 	"github.com/golitho/hsd/internal/resilience"
 	"github.com/golitho/hsd/internal/telemetry"
@@ -109,6 +110,14 @@ type Options struct {
 	// swaps atomically; post-swap primary outcomes feed a probation window
 	// that rolls back automatically when errors spike.
 	Reload *ReloadOptions
+	// Quality, when non-nil, enables model-quality monitoring: every
+	// cascade answer feeds the monitor's score sketches (stage "primary"
+	// or "fallback"), primary outcomes feed its SLO window, its gauges
+	// land in /metrics, drift events land in the trace store, and
+	// GET /debug/quality serves its snapshot. With hot reload enabled
+	// the registry resets the monitor and installs baseline sidecars on
+	// every generation change.
+	Quality *qualitymon.Monitor
 }
 
 // scorer wraps one detector, serializing access through a single clone
@@ -153,7 +162,8 @@ type Server struct {
 	breaker *resilience.Breaker
 	shed    *resilience.Shedder // nil when shedding is disabled
 	batch   *batcher
-	tracer  *trace.Tracer // nil when tracing is disabled
+	tracer  *trace.Tracer      // nil when tracing is disabled
+	quality *qualitymon.Monitor // nil when quality monitoring is disabled
 
 	reg          *telemetry.Registry
 	panics       *telemetry.Counter
@@ -219,6 +229,10 @@ func NewServer(opts Options) (*Server, error) {
 		primaryErrs:  reg.Counter("hotspot_primary_failures_total"),
 		batchSize:    reg.Histogram("batch_size", []float64{1, 2, 4, 8, 16, 32, 64}),
 		batchLatency: reg.Histogram("batch_latency_seconds", nil),
+		quality:      opts.Quality,
+	}
+	if s.quality != nil {
+		s.quality.BindMetrics(reg)
 	}
 	s.primary.Store(newScorer(opts.Primary))
 	s.batch = &batcher{
@@ -257,6 +271,9 @@ func NewServer(opts Options) (*Server, error) {
 			tcfg.Metrics = reg
 		}
 		s.tracer = trace.New(tcfg)
+		if s.quality != nil {
+			s.quality.BindTracer(s.tracer)
+		}
 	}
 	if opts.Reload != nil {
 		if opts.Reload.Loader == nil {
@@ -273,6 +290,7 @@ func NewServer(opts Options) (*Server, error) {
 			OnSwap: func(gen *registry.Generation) {
 				s.primary.Store(newScorer(gen.Detector))
 			},
+			Quality: qualityHook(s.quality),
 		})
 		s.registry.BindMetrics(reg)
 	}
@@ -311,7 +329,23 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/traces", s.handleTraces)
 		mux.HandleFunc("/debug/traces/chrome", s.handleTracesChrome)
 	}
+	if s.quality != nil {
+		// Uninstrumented for the same reason as /debug/traces.
+		mux.HandleFunc("/debug/quality", s.handleQuality)
+	}
 	return mux
+}
+
+// handleQuality serves the quality monitor's full snapshot: per-series
+// score sketches with drift scores against the training baseline,
+// spot-check confusion, SLO burn rates, and the alert state. Taking the
+// snapshot also advances the alert state machine.
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.quality.Snapshot())
 }
 
 // statusRecorder captures the response status for instrumentation.
@@ -598,6 +632,11 @@ func (s *Server) cascade(ctx context.Context, clip layout.Clip) (ScoreResponse, 
 		s.reportOutcome(primaryErr)
 		if primaryErr == nil {
 			thr := prim.det.Threshold()
+			s.quality.Observe(qualitymon.Event{
+				Detector: prim.det.Name(), Stage: "primary",
+				Score: score, Threshold: thr,
+				Clip: clip, HasClip: true,
+			})
 			return ScoreResponse{
 				Detector: prim.det.Name(), Score: score,
 				Threshold: thr, Hotspot: score >= thr,
@@ -624,6 +663,11 @@ func (s *Server) cascade(ctx context.Context, clip layout.Clip) (ScoreResponse, 
 	}
 	s.fallbacks.Inc()
 	thr := s.fallback.det.Threshold()
+	s.quality.Observe(qualitymon.Event{
+		Detector: s.fallback.det.Name(), Stage: "fallback",
+		Score: score, Threshold: thr,
+		Clip: clip, HasClip: true,
+	})
 	return ScoreResponse{
 		Detector: s.fallback.det.Name(), Score: score,
 		Threshold: thr, Hotspot: score >= thr,
@@ -652,11 +696,23 @@ func (e *panicError) Error() string { return fmt.Sprintf("primary detector panic
 
 // reportOutcome feeds one primary-scoring outcome into the model
 // registry's probation window (a no-op without a registry, and one
-// atomic load outside probation).
+// atomic load outside probation) and into the quality monitor's SLO
+// window.
 func (s *Server) reportOutcome(primaryErr error) {
 	if s.registry != nil {
 		s.registry.ReportOutcome(primaryErr == nil)
 	}
+	s.quality.ReportServeOutcome(primaryErr == nil)
+}
+
+// qualityHook adapts the monitor for the registry's quality hook while
+// keeping a disabled monitor a nil interface (so the registry skips the
+// calls entirely instead of invoking no-op methods on a typed nil).
+func qualityHook(m *qualitymon.Monitor) registry.QualityMonitor {
+	if m == nil {
+		return nil
+	}
+	return m
 }
 
 // scorePrimary runs prim (the primary scorer the caller loaded) under

@@ -56,7 +56,7 @@ func RegisterRuntimeMetrics(reg *Registry) {
 	runtime.ReadMemStats(&ms)
 	c.lastNumGC = ms.NumGC
 
-	goVersion, revision := buildInfo()
+	goVersion, revision := BuildInfo()
 	reg.Gauge("hotspot_build_info",
 		Label{Key: "go_version", Value: goVersion},
 		Label{Key: "revision", Value: revision},
@@ -89,10 +89,12 @@ func (c *runtimeCollector) collect() {
 	c.lastNumGC = ms.NumGC
 }
 
-// buildInfo extracts the Go version and VCS revision from the binary's
+// BuildInfo extracts the Go version and VCS revision from the binary's
 // embedded build information, with stable fallbacks for test binaries
-// and non-VCS builds.
-func buildInfo() (goVersion, revision string) {
+// and non-VCS builds. These are the same values the hotspot_build_info
+// gauge exports as labels, so a CLI's -version output and a running
+// server's /metrics can be compared field-for-field.
+func BuildInfo() (goVersion, revision string) {
 	goVersion = runtime.Version()
 	revision = "unknown"
 	bi, ok := debug.ReadBuildInfo()

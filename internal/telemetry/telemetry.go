@@ -222,9 +222,19 @@ func (r *Registry) SetHelp(name, help string) {
 // OnCollect registers fn to run at the start of every Snapshot and
 // WritePrometheus call, before the registry is read. Collectors refresh
 // pull-style metrics (runtime stats, cache sizes) so scrapes always see
-// current values without a background poller. fn may use the registry's
-// metric constructors and setters but must not call Snapshot,
-// WritePrometheus, or OnCollect itself.
+// current values without a background poller.
+//
+// Concurrency contract: OnCollect is safe to call concurrently with
+// scrapes and with other OnCollect calls — registration and the
+// collection pass serialize on one mutex, so a hook is never observed
+// half-registered and never runs concurrently with itself or another
+// hook (hooks may therefore keep unsynchronized local state, as the
+// runtime collector does). A hook registered while a scrape is mid-pass
+// joins the next pass, not the current one. Inside fn the registry's
+// metric constructors and setters are allowed (they take the registry's
+// data lock, which the collection pass does not hold), but Snapshot,
+// WritePrometheus, and OnCollect itself would self-deadlock and must
+// not be called.
 func (r *Registry) OnCollect(fn func()) {
 	r.collectMu.Lock()
 	defer r.collectMu.Unlock()

@@ -182,3 +182,88 @@ func TestSnapshot(t *testing.T) {
 		t.Fatalf("second = %+v", snaps[1])
 	}
 }
+
+// The OnCollect concurrency contract: registration, scrapes, and metric
+// writes from inside hooks may all race freely. Each hook runs
+// serialized (never concurrently with itself or another hook), so the
+// unsynchronized counter inside the hook closure must never trip the
+// race detector, and a hook registered mid-scrape joins a later pass
+// without corrupting the current one. Run with -race to enforce.
+func TestOnCollectConcurrentWithScrapes(t *testing.T) {
+	reg := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers: register hooks continuously. Each hook keeps
+	// unsynchronized local state, which the contract permits.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				passes := 0 // deliberately unsynchronized hook-local state
+				g := reg.Gauge("collector_passes",
+					L("owner", string(rune('a'+w))))
+				reg.OnCollect(func() {
+					passes++
+					g.Set(float64(passes))
+				})
+				if i >= 16 {
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: scrape continuously while hooks are being registered.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				if err := reg.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+
+	// Every registered hook must have run on the final scrape exactly
+	// once: the per-owner gauge equals that hook's pass count, and one
+	// more scrape advances each by exactly one.
+	before := collectGauges(reg, "collector_passes")
+	after := collectGauges(reg, "collector_passes")
+	if len(before) != len(after) || len(after) == 0 {
+		t.Fatalf("gauge series changed across scrapes: %v vs %v", before, after)
+	}
+	for k, v := range after {
+		if v <= before[k] {
+			t.Fatalf("hook %s did not advance: before %v after %v", k, before[k], v)
+		}
+	}
+}
+
+// collectGauges scrapes reg and sums the named gauge per label set.
+func collectGauges(reg *Registry, name string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range reg.Snapshot() {
+		if s.Name != name {
+			continue
+		}
+		key := ""
+		for _, l := range s.Labels {
+			key += l.Key + "=" + l.Value + ";"
+		}
+		out[key] += s.Value
+	}
+	return out
+}

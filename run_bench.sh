@@ -68,4 +68,17 @@ echo "$router_out" | awk -v ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 		}
 		printf("}\n")
 	}' >> BENCH_router.json
+echo "# chunk H: quality-monitor overhead, scan with monitoring off/on plus per-event cost (appends trajectory to BENCH_monitor.json)" >> bench_output.txt
+monitor_out=$(go test -timeout 60m -bench 'ScanFarmQuality|MonitorObserve|MonitorSnapshot' -benchmem -run XXX ./internal/scanfarm/ ./internal/qualitymon/ 2>&1)
+echo "$monitor_out" >> bench_output.txt
+echo "$monitor_out" | awk -v ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+	/^Benchmark/ {
+		name = $1; ns = "null"; bytes = "null"; allocs = "null"
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "ns/op") ns = $i
+			if ($(i+1) == "B/op") bytes = $i
+			if ($(i+1) == "allocs/op") allocs = $i
+		}
+		printf("{\"ts\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n", ts, name, ns, bytes, allocs)
+	}' >> BENCH_monitor.json
 echo "# done" >> bench_output.txt
