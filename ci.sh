@@ -108,6 +108,21 @@ echo "== quality monitor determinism =="
 # under the race detector.
 go test -run 'TestSnapshotDeterministic|TestOnCollectConcurrent' -race ./internal/qualitymon/ ./internal/telemetry/
 
+echo "== data engine chaos =="
+# The active-learning engine is kill-resumed at injected fault points
+# across every stage boundary (post-select, mid-label, post-train,
+# pre-ship); each resume must replay the WAL to the same state and the
+# finally-shipped model must be byte-identical to the uninterrupted
+# cycle. -race because labeling fans out across workers over one WAL.
+go test -run 'TestChaosLearn' -race ./internal/datengine/
+
+echo "== learn smoke =="
+# End to end: hsdlearn mines the base model's uncertainty band, runs a
+# full select/label/retrain/ship cycle, is SIGKILLed mid-label, and is
+# rerun with -resume; the resumed cycle must reuse >=1 durable label
+# and ship a model byte-identical to the uninterrupted run's.
+./scripts/learn_smoke.sh
+
 echo "== quality smoke =="
 # End to end: hsdtrain writes a score-distribution baseline sidecar,
 # hot reload installs it, an injected covariate shift pages

@@ -66,11 +66,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	hsd "github.com/golitho/hsd"
 	"github.com/golitho/hsd/internal/core"
+	"github.com/golitho/hsd/internal/datengine"
 	"github.com/golitho/hsd/internal/layout"
 	"github.com/golitho/hsd/internal/lithosim"
 	"github.com/golitho/hsd/internal/nn"
@@ -184,6 +186,8 @@ func run() error {
 	sloTarget := flag.Float64("slo-target", 0.99, "served-without-primary-failure SLO objective for burn-rate alerting")
 	driftThreshold := flag.Float64("drift-threshold", 0.25, "PSI above which a series is drifting (pages the alert; warning at half)")
 	qualityWindow := flag.Duration("quality-window", 10*time.Second, "quality-monitor sub-window; fast alert window is 3 of these, slow is 18")
+	learnWAL := flag.String("learn-wal", "", "active-learning candidate WAL (see hsdlearn): low-confidence scores, spot-check misses, and router escalations are mined into it; use the same -detector name when draining it with hsdlearn")
+	learnMargin := flag.Float64("learn-margin", 0.1, "with -learn-wal: mine scores within this of the threshold as low-confidence candidates")
 	version := flag.Bool("version", false, "print build info (the hotspot_build_info fields) and exit")
 	flag.Parse()
 
@@ -310,24 +314,48 @@ func run() error {
 		return err
 	}
 
+	// Active-learning mining: with -learn-wal, uncertain and
+	// wrongly-answered clips flow into the data engine's candidate WAL
+	// for hsdlearn to drain. The engine is opened after the server (it
+	// registers learn_* metrics on the serving registry), so the taps
+	// installed below load it through an atomic pointer.
+	var learnEng atomic.Pointer[datengine.Engine]
+	learnIngest := func(clip layout.Clip, score float64, stage, source string) {
+		eng := learnEng.Load()
+		if eng == nil {
+			return
+		}
+		if _, err := eng.Ingest(clip, score, stage, source); err != nil {
+			log.Printf("learn-wal ingest: %v", err)
+		}
+	}
+
 	// Model-quality monitoring: score sketches + drift vs. the training
 	// baseline, oracle spot-checks, SLO burn rate, /debug/quality.
 	var qm *qualitymon.Monitor
-	if *quality || *qualityBaseline != "" || *spotCheckRate > 0 {
-		qm = qualitymon.New(qualitymon.Options{
+	if *quality || *qualityBaseline != "" || *spotCheckRate > 0 || *learnWAL != "" {
+		qopts := qualitymon.Options{
 			SubWindow:      *qualityWindow,
 			DriftThreshold: *driftThreshold,
 			SLOTarget:      *sloTarget,
 			SpotCheckRate:  *spotCheckRate,
-			Oracle: func(c layout.Clip) (bool, error) {
-				res, err := sim.Simulate(c)
-				if err != nil {
-					return false, err
+			Oracle:         sim.Label,
+			Logf:           log.Printf,
+		}
+		if *learnWAL != "" {
+			qopts.LowConfMargin = *learnMargin
+			qopts.LowConfidenceTap = func(fp layout.Fingerprint, clip layout.Clip, score float64, stage string) {
+				learnIngest(clip, score, stage, "lowconf")
+			}
+			qopts.SpotMissTap = func(clip layout.Clip, predicted, actual bool) {
+				score := 0.0
+				if predicted {
+					score = 1.0
 				}
-				return res.Hotspot, nil
-			},
-			Logf: log.Printf,
-		})
+				learnIngest(clip, score, "spotcheck", "spotmiss")
+			}
+		}
+		qm = qualitymon.New(qopts)
 		defer qm.Close()
 		if *qualityBaseline != "" {
 			b, err := qualitymon.LoadBaselineFile(*qualityBaseline)
@@ -360,10 +388,35 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *learnWAL != "" {
+		// Ingest-only engine: hsdserve only mines candidates; labeling,
+		// retraining, and shipping happen in hsdlearn against the same
+		// WAL. The -detector name keys the WAL meta, so mixing detectors
+		// across processes fails loudly instead of polluting the queue.
+		eng, err := datengine.Open(*learnWAL, datengine.Config{
+			Detector: *detName,
+			Metrics:  srv.Metrics(),
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			return fmt.Errorf("-learn-wal: %w", err)
+		}
+		defer eng.Close()
+		learnEng.Store(eng)
+		log.Printf("mining active-learning candidates into %s (margin %.2f, %d pending)",
+			*learnWAL, *learnMargin, eng.PendingCandidates())
+	}
 	if rt, ok := det.(*hsd.RouterDetector); ok {
 		// Per-stage routing counters land on the same /metrics page as
 		// the serving cascade's.
 		rt.BindMetrics(srv.Metrics())
+		if *learnWAL != "" {
+			// The escalation band — clips every cheap stage refused to
+			// answer — is the router's feed into the data engine.
+			rt.BindEscalationTap(func(stage string, p float64, clip layout.Clip) {
+				learnIngest(clip, p, stage, "escalation")
+			})
+		}
 		if qm != nil {
 			// Per-stage score sketches: the tap observes the calibrated
 			// confidence of every answered routing decision, so drift is

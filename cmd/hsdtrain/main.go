@@ -135,6 +135,15 @@ func run() error {
 		if !ok {
 			return fmt.Errorf("detector %s is not a neural detector; cannot checkpoint", spec.Name)
 		}
+		if *resume {
+			// Fail loudly BEFORE MkdirAll papers over a mistyped path: a
+			// resume pointed at a directory that does not exist is an
+			// operator error, not a fresh run.
+			if _, serr := os.Stat(*ckptDir); os.IsNotExist(serr) {
+				return fmt.Errorf("-resume: checkpoint directory %s does not exist; "+
+					"check the path, or drop -resume to start a fresh run", *ckptDir)
+			}
+		}
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
 			return err
 		}
@@ -153,12 +162,16 @@ func run() error {
 				// Torn/corrupt files were skipped; say which and why.
 				fmt.Fprintln(os.Stderr, "hsdtrain: checkpoint recovery:", lerr)
 			}
-			if ck != nil {
-				nd.Cfg.Resume = ck
-				fmt.Printf("resuming    epoch %d from %s\n", ck.Epoch, path)
-			} else {
-				fmt.Printf("resuming    no usable checkpoint in %s; starting fresh\n", *ckptDir)
+			if ck == nil {
+				// Silently starting fresh here would retrain from epoch 0
+				// and overwrite whatever the operator thought they were
+				// resuming. Make them decide.
+				return fmt.Errorf("-resume: no usable checkpoint in %s "+
+					"(empty, or every file torn/corrupt); "+
+					"drop -resume to train from scratch, or point -checkpoint-dir at the right run", *ckptDir)
 			}
+			nd.Cfg.Resume = ck
+			fmt.Printf("resuming    epoch %d from %s\n", ck.Epoch, path)
 		}
 	}
 

@@ -26,6 +26,7 @@ import (
 
 	"github.com/golitho/hsd/internal/boost"
 	"github.com/golitho/hsd/internal/core"
+	"github.com/golitho/hsd/internal/datengine"
 	"github.com/golitho/hsd/internal/dtree"
 	"github.com/golitho/hsd/internal/features"
 	"github.com/golitho/hsd/internal/gdsii"
@@ -443,3 +444,34 @@ var errNotFitted = errNotFittedError{}
 type errNotFittedError struct{}
 
 func (errNotFittedError) Error() string { return "hsd: detector is not fitted" }
+
+// Crash-tolerant active learning (internal/datengine): the WAL-backed
+// mine -> select -> label -> retrain -> ship loop behind `hsdlearn` and
+// `hsdserve -learn-wal`.
+type (
+	// LearnConfig wires the data engine's stages: batch sizing,
+	// selection features, the labeling oracle with its retry/breaker
+	// policy, the trainer, and the ship gate.
+	LearnConfig = datengine.Config
+	// LearnEngine is the durable active-learning loop head. Every stage
+	// outcome is journaled before the next stage runs, so a killed loop
+	// resumes to a byte-identical shipped model.
+	LearnEngine = datengine.Engine
+	// LearnCycleReport summarizes one mine->ship cycle.
+	LearnCycleReport = datengine.CycleReport
+	// LearnCandidate is one mined, not-yet-consumed clip.
+	LearnCandidate = datengine.Candidate
+)
+
+// ErrLearnNoCandidates reports a cycle with too few unconsumed
+// candidates to form a batch.
+var ErrLearnNoCandidates = datengine.ErrNoCandidates
+
+// ErrLearnShipRejected marks a terminal gate rejection: the batch is
+// consumed and the loop moves on instead of retrying forever.
+var ErrLearnShipRejected = datengine.ErrShipRejected
+
+// OpenLearnEngine opens (or resumes) the active-learning WAL at path.
+func OpenLearnEngine(path string, cfg LearnConfig) (*LearnEngine, error) {
+	return datengine.Open(path, cfg)
+}

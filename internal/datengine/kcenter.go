@@ -1,0 +1,103 @@
+// Deterministic k-center batch selection: greedy farthest-first
+// traversal over feature vectors, the classic 2-approximation to the
+// k-center objective. Active-learning batches want *diverse* uncertain
+// clips — k nearest-to-the-boundary duplicates teach the model one
+// thing k times — and farthest-first maximizes the minimum pairwise
+// spread greedily.
+//
+// Determinism contract: the selection is a pure function of the point
+// list (order included). Callers feed points in fingerprint order (see
+// State.Available), every distance is exact float64 arithmetic with no
+// RNG, and all ties break toward the lowest index — so any two
+// processes selecting over the same candidate set pick the same batch.
+
+package datengine
+
+// SelectKCenter returns the indices of k points chosen by greedy
+// farthest-first traversal, in selection order. The first center is the
+// point farthest from the centroid of all points (the most atypical
+// sample); each subsequent center maximizes its distance to the nearest
+// already-chosen center. Ties break toward the lowest index. When
+// k >= len(points) every index is returned in input order.
+func SelectKCenter(points [][]float64, k int) []int {
+	n := len(points)
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+
+	dim := 0
+	for _, p := range points {
+		if len(p) > dim {
+			dim = len(p)
+		}
+	}
+	centroid := make([]float64, dim)
+	for _, p := range points {
+		for d, v := range p {
+			centroid[d] += v
+		}
+	}
+	for d := range centroid {
+		centroid[d] /= float64(n)
+	}
+
+	first, best := 0, -1.0
+	for i, p := range points {
+		if d := distSq(p, centroid); d > best {
+			first, best = i, d
+		}
+	}
+
+	chosen := make([]int, 0, k)
+	chosen = append(chosen, first)
+	// minDist[i] is the squared distance from point i to its nearest
+	// chosen center.
+	minDist := make([]float64, n)
+	for i, p := range points {
+		minDist[i] = distSq(p, points[first])
+	}
+	for len(chosen) < k {
+		next, far := -1, -1.0
+		for i, d := range minDist {
+			if d > far {
+				next, far = i, d
+			}
+		}
+		chosen = append(chosen, next)
+		for i, p := range points {
+			if d := distSq(p, points[next]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return chosen
+}
+
+// distSq is the squared L2 distance, treating missing trailing
+// dimensions as zero so ragged vectors compare sanely.
+func distSq(a, b []float64) float64 {
+	var s float64
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for d := 0; d < n; d++ {
+		var av, bv float64
+		if d < len(a) {
+			av = a[d]
+		}
+		if d < len(b) {
+			bv = b[d]
+		}
+		diff := av - bv
+		s += diff * diff
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package datengine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKCenterBasics(t *testing.T) {
+	if got := SelectKCenter(nil, 3); got != nil {
+		t.Fatalf("empty input selected %v", got)
+	}
+	pts := [][]float64{{0, 0}, {1, 0}, {0, 1}}
+	if got := SelectKCenter(pts, 0); got != nil {
+		t.Fatalf("k=0 selected %v", got)
+	}
+	got := SelectKCenter(pts, 5)
+	if len(got) != 3 {
+		t.Fatalf("k>n selected %d points, want all 3", len(got))
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("k>n must return input order, got %v", got)
+		}
+	}
+}
+
+// TestKCenterSpread: with two tight clusters and one far outlier,
+// selecting 3 of them must take the outlier plus one point from each
+// cluster — the diversity property the batch selection exists for.
+func TestKCenterSpread(t *testing.T) {
+	pts := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1}, // cluster A (0..2)
+		{10, 10}, {10.1, 10}, // cluster B (3..4)
+		{100, -50}, // outlier (5)
+	}
+	got := SelectKCenter(pts, 3)
+	region := func(i int) int {
+		switch {
+		case i <= 2:
+			return 0
+		case i <= 4:
+			return 1
+		default:
+			return 2
+		}
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		seen[region(i)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("selection %v does not cover all three regions", got)
+	}
+}
+
+// TestKCenterDeterministic: same point list, same selection, across
+// repeated calls (no hidden RNG or map iteration).
+func TestKCenterDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([][]float64, 64)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	first := SelectKCenter(pts, 8)
+	for trial := 0; trial < 10; trial++ {
+		got := SelectKCenter(pts, 8)
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d diverged: %v vs %v", trial, got, first)
+			}
+		}
+	}
+}
+
+// TestKCenterDuplicatePoints: identical points must tie-break toward
+// the lowest index and never panic or loop.
+func TestKCenterDuplicatePoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {5, 5}}
+	got := SelectKCenter(pts, 2)
+	if len(got) != 2 {
+		t.Fatalf("selected %v", got)
+	}
+	// One of the duplicates plus the distinct point must be chosen.
+	hasFar := false
+	for _, i := range got {
+		if i == 3 {
+			hasFar = true
+		}
+	}
+	if !hasFar {
+		t.Fatalf("selection %v skipped the only distant point", got)
+	}
+}
+
+func TestDistSqRagged(t *testing.T) {
+	if d := distSq([]float64{1, 2}, []float64{1}); d != 4 {
+		t.Fatalf("ragged distSq = %v, want 4", d)
+	}
+	if d := distSq(nil, []float64{3}); d != 9 {
+		t.Fatalf("nil distSq = %v, want 9", d)
+	}
+}

@@ -1,0 +1,257 @@
+package datengine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/golitho/hsd/internal/geom"
+	"github.com/golitho/hsd/internal/layout"
+)
+
+// testClip builds a small deterministic clip whose geometry varies
+// with i, so distinct i yield distinct fingerprints.
+func testClip(i int) layout.Clip {
+	w := geom.R(0, 0, 512, 512)
+	return layout.Clip{
+		Window: w,
+		Core:   geom.R(128, 128, 384, 384),
+		Shapes: []geom.Rect{
+			geom.R(10+i, 20, 60+i, 52),
+			geom.R(100, 40+2*i, 132, 200),
+		},
+	}
+}
+
+func testRecords(n int) []Record {
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		clip := testClip(i).Translate()
+		recs = append(recs, Record{
+			Kind: RecCandidate, FP: clip.Fingerprint(), Clip: clip,
+			Score: 0.4 + float64(i)/100, Stage: "scan", Source: "low-conf",
+		})
+	}
+	return recs
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "learn.wal")
+	meta := Meta{Detector: "cnn"}
+	w, err := CreateWAL(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(5)
+	recs = append(recs,
+		Record{Kind: RecBatch, BatchID: 0, FPs: []layout.Fingerprint{recs[0].FP, recs[2].FP}},
+		Record{Kind: RecLabel, BatchID: 0, FP: recs[0].FP, Hotspot: true},
+		Record{Kind: RecQuarantine, BatchID: 0, FP: recs[2].FP, Attempts: 3, Err: "oracle panic: chaos"},
+		Record{Kind: RecShipped, BatchID: 0, Outcome: OutcomeShipped, ModelPath: "m.gob"},
+	)
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gotMeta, got, _, err := LoadWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta = %+v, want %+v", gotMeta, meta)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		if r.Kind != recs[i].Kind || r.FP != recs[i].FP || r.BatchID != recs[i].BatchID {
+			t.Errorf("record %d = %+v, want %+v", i, r, recs[i])
+		}
+	}
+	if got[5].Kind != RecBatch || len(got[5].FPs) != 2 {
+		t.Errorf("batch record = %+v", got[5])
+	}
+	if !got[6].Hotspot {
+		t.Errorf("label record lost verdict: %+v", got[6])
+	}
+}
+
+// TestWALTornTailEveryByte truncates a valid WAL at every byte length
+// and asserts the load never errors, never returns a partial record,
+// and ResumeWAL can append after truncation.
+func TestWALTornTailEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "learn.wal")
+	meta := Meta{Detector: "cnn"}
+	w, err := CreateWAL(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerEnd := st.Size()
+	recs := testRecords(3)
+	offsets := []int64{}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := os.Stat(path)
+		offsets = append(offsets, st.Size())
+	}
+	w.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	torn := filepath.Join(dir, "torn.wal")
+	for cut := headerEnd; cut < int64(len(full)); cut++ {
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, got, off, err := LoadWAL(torn)
+		if err != nil {
+			t.Fatalf("cut %d: load: %v", cut, err)
+		}
+		// The intact record count is the number of record offsets <= cut.
+		want := 0
+		for _, o := range offsets {
+			if o <= cut {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("cut %d: %d records, want %d", cut, len(got), want)
+		}
+		if off > cut {
+			t.Fatalf("cut %d: offset %d beyond file", cut, off)
+		}
+
+		// Resume must truncate the tail and accept a fresh append.
+		rw, rrecs, err := ResumeWAL(torn, meta)
+		if err != nil {
+			t.Fatalf("cut %d: resume: %v", cut, err)
+		}
+		if len(rrecs) != want {
+			t.Fatalf("cut %d: resume %d records, want %d", cut, len(rrecs), want)
+		}
+		extra := testRecords(4)[3]
+		if err := rw.Append(extra); err != nil {
+			t.Fatalf("cut %d: append after resume: %v", cut, err)
+		}
+		rw.Close()
+		_, again, _, err := LoadWAL(torn)
+		if err != nil {
+			t.Fatalf("cut %d: reload: %v", cut, err)
+		}
+		if len(again) != want+1 {
+			t.Fatalf("cut %d: after append %d records, want %d", cut, len(again), want+1)
+		}
+	}
+}
+
+func TestWALMetaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "learn.wal")
+	w, err := CreateWAL(path, Meta{Detector: "cnn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, _, err := ResumeWAL(path, Meta{Detector: "mlp"}); err == nil {
+		t.Fatal("resume with mismatched detector succeeded")
+	}
+}
+
+func TestWALBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "learn.wal")
+	w, err := CreateWAL(path, Meta{Detector: "cnn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(2)
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	full, _ := os.ReadFile(path)
+	// Flip a bit in the final record's payload: the load must drop that
+	// record (checksum) but keep the prefix.
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)-1] ^= 0x40
+	bad := filepath.Join(dir, "flipped.wal")
+	os.WriteFile(bad, flipped, 0o644)
+	_, got, _, err := LoadWAL(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("bit-flipped tail: %d records survived, want 1", len(got))
+	}
+}
+
+func TestReplayState(t *testing.T) {
+	recs := testRecords(4)
+	fps := []layout.Fingerprint{recs[0].FP, recs[1].FP}
+	all := append(append([]Record(nil), recs...),
+		recs[1], // duplicate candidate: must not double-count
+		Record{Kind: RecBatch, BatchID: 0, FPs: fps},
+		Record{Kind: RecLabel, BatchID: 0, FP: fps[0], Hotspot: true},
+	)
+	s := Replay(all)
+	if len(s.Candidates) != 4 {
+		t.Fatalf("candidates = %d, want 4", len(s.Candidates))
+	}
+	if s.Pending == nil || s.Pending.ID != 0 {
+		t.Fatalf("pending batch missing: %+v", s.Pending)
+	}
+	if got := s.Pending.Remaining(); len(got) != 1 || got[0] != fps[1] {
+		t.Fatalf("remaining = %v, want [%x]", got, fps[1][:4])
+	}
+	if avail := s.Available(); len(avail) != 2 {
+		t.Fatalf("available = %d, want 2 (two consumed)", len(avail))
+	}
+
+	// Terminal record clears the pending batch and counts the outcome.
+	all = append(all,
+		Record{Kind: RecQuarantine, BatchID: 0, FP: fps[1], Attempts: 3, Err: "x"},
+		Record{Kind: RecShipped, BatchID: 0, Outcome: OutcomeShipped, ModelPath: "m.gob"},
+	)
+	s = Replay(all)
+	if s.Pending != nil {
+		t.Fatalf("pending survived shipped record")
+	}
+	if s.Shipped != 1 || s.LastModel != "m.gob" {
+		t.Fatalf("shipped = %d lastModel = %q", s.Shipped, s.LastModel)
+	}
+	if s.NextBatchID != 1 {
+		t.Fatalf("next batch = %d, want 1", s.NextBatchID)
+	}
+}
+
+// TestAvailableOrderIndependent: the selection input must be identical
+// no matter what order candidates arrived in.
+func TestAvailableOrderIndependent(t *testing.T) {
+	recs := testRecords(6)
+	perm := []Record{recs[3], recs[0], recs[5], recs[1], recs[4], recs[2]}
+	a := Replay(recs).Available()
+	b := Replay(perm).Available()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].FP != b[i].FP {
+			t.Fatalf("order diverges at %d", i)
+		}
+	}
+}

@@ -23,6 +23,33 @@ func (s *Simulator) Simulate(clip layout.Clip) (Result, error) {
 	return s.SimulateCtx(context.Background(), clip)
 }
 
+// LabelCtx is the labeling-oracle entry point consumed by the
+// active-learning data engine (internal/datengine) and the quality
+// monitor's spot-checker: just the hotspot verdict, with panic
+// containment. A panicking simulation — corrupt clip geometry, a bug in
+// a defect check — comes back as an error, never unwinds the caller,
+// so the data engine can count attempts against the sample and
+// quarantine it instead of dying.
+func (s *Simulator) LabelCtx(ctx context.Context, clip layout.Clip) (hotspot bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			hotspot = false
+			err = fmt.Errorf("lithosim: oracle panic: %v", r)
+		}
+	}()
+	res, err := s.SimulateCtx(ctx, clip)
+	if err != nil {
+		return false, err
+	}
+	return res.Hotspot, nil
+}
+
+// Label is LabelCtx without cancellation, matching the qualitymon
+// Oracle signature.
+func (s *Simulator) Label(clip layout.Clip) (bool, error) {
+	return s.LabelCtx(context.Background(), clip)
+}
+
 // SimulateCtx is the context-aware Simulate: cancellation and deadline
 // are checked between process corners (the unit of work — one blur +
 // three geometric checks — so a cancelled verification stops within one

@@ -28,6 +28,19 @@ type netFile struct {
 	Layers  []snapshot
 }
 
+// init pins the gob wire-type ids of the network file format. Gob
+// allocates type ids from a process-global counter in first-encode
+// order, so without this the exact bytes of a saved network depend on
+// what else the process happened to gob-encode earlier (journal
+// records, WAL replay, checkpoints). Encoding a zero netFile here
+// allocates the format's ids at a fixed point — package init, before
+// any runtime traffic — which is what makes "a resumed run ships a
+// byte-identical model" hold across processes with different
+// histories.
+func init() {
+	_ = gob.NewEncoder(io.Discard).Encode(netFile{Layers: []snapshot{{}}})
+}
+
 // fileMagic opens the framed network file format: a fixed tag, the
 // payload length, and a CRC32 of the payload, so Load can distinguish a
 // torn or corrupted file from a valid one before handing bytes to gob.

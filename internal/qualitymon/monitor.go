@@ -30,15 +30,23 @@ type Event struct {
 	HasClip bool
 }
 
-// LowConfidenceTap receives (fingerprint, score, stage) for every
-// observed event whose score lands within LowConfMargin of the
-// detector's threshold — the sensor feed the active-learning sampler
-// (ROADMAP item 4) mines. It is called synchronously from Observe on
-// whatever goroutine scored the clip, so implementations must be
-// concurrency-safe and fast; sampling decisions should key on the
-// fingerprint (content-addressed, order-independent), never on arrival
-// order.
-type LowConfidenceTap func(fp layout.Fingerprint, score float64, stage string)
+// LowConfidenceTap receives (fingerprint, clip, score, stage) for
+// every observed event whose score lands within LowConfMargin of the
+// detector's threshold — the sensor feed the active-learning data
+// engine (internal/datengine) mines. The clip is the event's geometry
+// so the tap can journal a labelable candidate, not just a key. It is
+// called synchronously from Observe on whatever goroutine scored the
+// clip, so implementations must be concurrency-safe and fast; sampling
+// decisions should key on the fingerprint (content-addressed,
+// order-independent), never on arrival order.
+type LowConfidenceTap func(fp layout.Fingerprint, clip layout.Clip, score float64, stage string)
+
+// SpotMissTap receives every spot-check where the shadow oracle
+// disagreed with the model — the highest-value mining signal the
+// monitor produces, since a miss is a *confirmed* labeling error, not
+// just uncertainty. Called from the spot-check worker goroutine (or
+// inline in sync mode); implementations must be concurrency-safe.
+type SpotMissTap func(clip layout.Clip, predicted, actual bool)
 
 // Options configures a Monitor. The zero value gets sane defaults from
 // New.
@@ -89,6 +97,9 @@ type Options struct {
 	// the margin of the threshold (0 disables).
 	LowConfMargin    float64
 	LowConfidenceTap LowConfidenceTap
+	// SpotMissTap, when non-nil, receives spot-check mismatches (needs
+	// an Oracle and SpotCheckRate > 0 to ever fire).
+	SpotMissTap SpotMissTap
 
 	Logf func(format string, args ...any) // nil = silent
 }
@@ -271,7 +282,7 @@ func (m *Monitor) Observe(ev Event) {
 		if d := ev.Score - ev.Threshold; d <= m.opts.LowConfMargin && d >= -m.opts.LowConfMargin {
 			fp = ev.Clip.Fingerprint()
 			haveFP = true
-			tap(fp, ev.Score, ev.Stage)
+			tap(fp, ev.Clip, ev.Score, ev.Stage)
 		}
 	}
 	if m.opts.Oracle != nil && m.opts.SpotCheckRate > 0 {

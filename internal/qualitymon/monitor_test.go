@@ -245,6 +245,48 @@ func TestSpotCheckerConfusion(t *testing.T) {
 	}
 }
 
+// TestSpotMissTap: only the checks where the oracle disagrees reach
+// the miss tap, with the clip and both verdicts intact.
+func TestSpotMissTap(t *testing.T) {
+	clk := newFakeClock()
+	opts := testMonitorOpts(clk)
+	opts.SpotCheckRate = 1
+	opts.SyncSpotChecks = true
+	opts.Oracle = func(c layout.Clip) (bool, error) {
+		return c.Shapes[0].Dx()%2 == 0, nil
+	}
+	type miss struct{ predicted, actual bool }
+	var mu sync.Mutex
+	misses := make(map[layout.Fingerprint]miss)
+	opts.SpotMissTap = func(clip layout.Clip, predicted, actual bool) {
+		mu.Lock()
+		misses[clip.Fingerprint()] = miss{predicted, actual}
+		mu.Unlock()
+	}
+	m := New(opts)
+	defer m.Close()
+	for i := 0; i < 40; i++ {
+		score := 0.0
+		if i%4 < 2 {
+			score = 1.0
+		}
+		m.Observe(Event{
+			Detector: "MLP", Stage: "primary",
+			Score: score, Threshold: 0.5,
+			Clip: testClip(i), HasClip: true,
+		})
+	}
+	// Same setup as TestSpotCheckerConfusion: 10 FP + 10 FN = 20 misses.
+	if len(misses) != 20 {
+		t.Fatalf("miss tap saw %d clips, want 20", len(misses))
+	}
+	for fp, ms := range misses {
+		if ms.predicted == ms.actual {
+			t.Fatalf("tap received a non-miss for %x: %+v", fp[:4], ms)
+		}
+	}
+}
+
 func TestSpotCheckSamplingDeterministic(t *testing.T) {
 	rate := 0.5
 	for i := 0; i < 64; i++ {
@@ -302,9 +344,12 @@ func TestLowConfidenceTap(t *testing.T) {
 	opts.LowConfMargin = 0.1
 	var mu sync.Mutex
 	got := make(map[layout.Fingerprint]float64)
-	opts.LowConfidenceTap = func(fp layout.Fingerprint, score float64, stage string) {
+	opts.LowConfidenceTap = func(fp layout.Fingerprint, clip layout.Clip, score float64, stage string) {
 		if stage != "primary" {
 			t.Errorf("tap stage = %q", stage)
+		}
+		if got := clip.Fingerprint(); got != fp {
+			t.Errorf("tap clip fingerprint %x != fp %x", got[:4], fp[:4])
 		}
 		mu.Lock()
 		got[fp] = score

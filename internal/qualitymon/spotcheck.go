@@ -100,6 +100,9 @@ func (m *Monitor) runSpotJob(j spotJob) {
 		if mets := m.mets.Load(); mets != nil {
 			mets.spotMismatches.Inc()
 		}
+		if tap := m.opts.SpotMissTap; tap != nil {
+			tap(j.clip, j.predicted, actual)
+		}
 	}
 	m.mu.Lock()
 	now := m.conf.epochOf(m.clock.Now())

@@ -11,6 +11,7 @@ import (
 	"github.com/golitho/hsd/internal/core"
 	"github.com/golitho/hsd/internal/geom"
 	"github.com/golitho/hsd/internal/layout"
+	"github.com/golitho/hsd/internal/qualitymon"
 	"github.com/golitho/hsd/internal/telemetry"
 )
 
@@ -322,4 +323,62 @@ func waitGeneration(t *testing.T, r *Registry, want int64) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatalf("generation = %d, want %d", r.Live().ID, want)
+}
+
+// TestRollbackWithBadSidecar: probation rollback restores the previous
+// generation cleanly even when that generation's quality sidecar is
+// missing or corrupt — the monitor keeps its prior baseline (logged,
+// not fatal) and the model swap still lands. A real qualitymon.Monitor
+// sits behind Config.Quality so the sidecar load path actually runs.
+func TestRollbackWithBadSidecar(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		sidecar []byte // nil: no sidecar file at all
+	}{
+		{"missing-sidecar", nil},
+		{"corrupt-sidecar", []byte("not a baseline\x00\xff\x01garbage")},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			goodPath := dir + "/good.gob"
+			if err := os.WriteFile(goodPath, []byte("model bytes"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if tc.sidecar != nil {
+				if err := os.WriteFile(qualitymon.SidecarPath(goodPath), tc.sidecar, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			qm := qualitymon.New(qualitymon.Options{Logf: t.Logf})
+			defer qm.Close()
+
+			cand := det("cand", 0.5, 0.8, 0.8, 0.2, 0.2)
+			r, m, _ := newTestRegistry(t, cand, Config{
+				Golden:               golden(4, 2),
+				ProbationRequests:    2,
+				ProbationMaxFailures: 0,
+				Quality:              qm,
+			})
+			// Generation 2: the future rollback target, sitting next to the
+			// bad sidecar. Survive its probation so it becomes the floor.
+			if _, _, err := r.Reload(context.Background(), goodPath); err != nil {
+				t.Fatalf("Reload rollback target: %v", err)
+			}
+			r.ReportOutcome(true)
+			r.ReportOutcome(true)
+			// Generation 3 fails probation: rollback must reinstall
+			// generation 2 — and with it the missing/corrupt sidecar.
+			if _, _, err := r.Reload(context.Background(), dir+"/bad.gob"); err != nil {
+				t.Fatalf("Reload failing candidate: %v", err)
+			}
+			r.ReportOutcome(false)
+			if live := r.Live(); live.ID != 2 || live.Source != goodPath {
+				t.Fatalf("live = ID %d source %s, want generation 2 from %s restored",
+					live.ID, live.Source, goodPath)
+			}
+			if got := counter(m, "rolled_back"); got != 1 {
+				t.Fatalf("rolled_back counter = %v, want 1", got)
+			}
+		})
+	}
 }

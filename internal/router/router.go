@@ -125,6 +125,7 @@ type routerStats struct {
 	stages []stageCounters
 	mets   atomic.Pointer[[]stageMetrics]
 	tap    atomic.Pointer[QualityTap]
+	escTap atomic.Pointer[QualityTap]
 }
 
 // QualityTap observes one answered routing decision: the answering
@@ -372,6 +373,11 @@ func (r *Router) RouteCtx(ctx context.Context, clip layout.Clip) (Decision, erro
 			if tp := r.stats.tap.Load(); tp != nil {
 				(*tp)(st.Name, p, clip)
 			}
+			if i == len(r.stages)-1 {
+				if tp := r.stats.escTap.Load(); tp != nil {
+					(*tp)(st.Name, p, clip)
+				}
+			}
 			return Decision{
 				Stage:      i,
 				StageName:  st.Name,
@@ -453,6 +459,11 @@ func (r *Router) ScoreBatchCtx(ctx context.Context, clips []layout.Clip) ([]floa
 			if answered {
 				if tp := r.stats.tap.Load(); tp != nil {
 					(*tp)(st.Name, p, clips[idx])
+				}
+				if last {
+					if tp := r.stats.escTap.Load(); tp != nil {
+						(*tp)(st.Name, p, clips[idx])
+					}
 				}
 				out[idx] = encode(p, hot)
 			} else {
@@ -554,4 +565,19 @@ func (r *Router) BindQualityTap(tap QualityTap) {
 		return
 	}
 	r.stats.tap.Store(&tap)
+}
+
+// BindEscalationTap installs (or, with nil, removes) a tap over the
+// escalation band: it fires for exactly the clips answered by the FINAL
+// stage — the ones every cheaper stage's uncertainty band escalated.
+// These clips are where the calibrated cascade was least sure, which
+// makes them the router's feed into the active-learning data engine
+// (internal/datengine). Same sharing semantics as BindQualityTap; same
+// determinism contract (the tap never feeds back into scores).
+func (r *Router) BindEscalationTap(tap QualityTap) {
+	if tap == nil {
+		r.stats.escTap.Store(nil)
+		return
+	}
+	r.stats.escTap.Store(&tap)
 }

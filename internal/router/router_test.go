@@ -576,3 +576,91 @@ func TestRouterErrors(t *testing.T) {
 
 func pmConfig() pm.Config       { return pm.Config{GridPx: 32, Tol: 36, Mirror: true} }
 func boostConfig() boost.Config { return boost.Config{Rounds: 40, ClassBalance: true} }
+
+// TestRouterEscalationTap: the escalation tap observes exactly the
+// clips answered by the final stage — the cascade's uncertainty band —
+// in both the single-clip and batch paths, reaches clones through the
+// shared stats, and unbinds cleanly with nil.
+func TestRouterEscalationTap(t *testing.T) {
+	clips := testClips(t)
+	r := mustRouter(t, Band{Lo: 0.3, Hi: 0.7}, Band{Lo: 0.35, Hi: 0.65})
+
+	var mu sync.Mutex
+	seen := map[layout.Fingerprint]int{}
+	stages := map[string]int{}
+	r.BindEscalationTap(func(stage string, p float64, clip layout.Clip) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[clip.Fingerprint()]++
+		stages[stage]++
+	})
+
+	for _, clip := range clips {
+		if _, err := r.Score(clip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	finalAnswered := st[len(st)-1].Answered()
+	mu.Lock()
+	total := 0
+	for _, n := range seen {
+		total += n
+	}
+	mu.Unlock()
+	if finalAnswered == 0 || finalAnswered == int64(len(clips)) {
+		t.Fatalf("degenerate routing (final answered %d of %d); bands give the tap nothing to distinguish",
+			finalAnswered, len(clips))
+	}
+	if int64(total) != finalAnswered {
+		t.Fatalf("escalation tap fired %d times, final stage answered %d", total, finalAnswered)
+	}
+	for name, n := range stages {
+		if name != "deep" {
+			t.Fatalf("escalation tap saw stage %q (%d times), want only the final stage", name, n)
+		}
+	}
+
+	// The batch path must surface the identical escalation set.
+	batchSeen := map[layout.Fingerprint]int{}
+	r.BindEscalationTap(func(stage string, p float64, clip layout.Clip) {
+		mu.Lock()
+		defer mu.Unlock()
+		batchSeen[clip.Fingerprint()]++
+	})
+	if _, err := r.ScoreBatch(clips); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if !reflect.DeepEqual(batchSeen, seen) {
+		t.Fatalf("batch escalation set differs from single-clip set: %d vs %d clips",
+			len(batchSeen), len(seen))
+	}
+	mu.Unlock()
+
+	// Clones report into the same shared tap; nil unbinds for everyone.
+	var cloneHits int
+	r.BindEscalationTap(func(stage string, p float64, clip layout.Clip) {
+		mu.Lock()
+		defer mu.Unlock()
+		cloneHits++
+	})
+	clone := r.CloneDetector()
+	if _, err := clone.(*Router).ScoreBatch(clips); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if cloneHits != total {
+		t.Fatalf("clone escalations = %d, want %d", cloneHits, total)
+	}
+	mu.Unlock()
+	r.BindEscalationTap(nil)
+	if _, err := clone.Score(clips[0]); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if cloneHits != total {
+		t.Fatal("nil unbind did not stop the escalation tap")
+	}
+	mu.Unlock()
+}

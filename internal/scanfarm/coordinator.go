@@ -91,6 +91,7 @@ type farmMetrics struct {
 	cacheHits         *telemetry.Counter // scan_cache_hits_total
 	cacheMisses       *telemetry.Counter // scan_cache_misses_total
 	cacheEvictions    *telemetry.Counter // scan_cache_evictions_total
+	quarantined       *telemetry.Gauge   // scan_quarantined_shards
 	shardSeconds      *telemetry.Histogram
 }
 
@@ -105,6 +106,7 @@ func newFarmMetrics(reg *telemetry.Registry) *farmMetrics {
 	reg.SetHelp("scan_cache_misses_total", "Windows that missed the clip cache and ran the detector.")
 	reg.SetHelp("scan_cache_evictions_total", "Clip-cache LRU evictions.")
 	reg.SetHelp("scan_shard_seconds", "Per-shard wall time of successful attempts.")
+	reg.SetHelp("scan_quarantined_shards", "Shards quarantined by the most recent scan, resumed records included.")
 	return &farmMetrics{
 		shardsDone:        reg.Counter("scan_shards_total", telemetry.L("state", "done")),
 		shardsQuarantined: reg.Counter("scan_shards_total", telemetry.L("state", "quarantined")),
@@ -114,6 +116,7 @@ func newFarmMetrics(reg *telemetry.Registry) *farmMetrics {
 		cacheHits:         reg.Counter("scan_cache_hits_total"),
 		cacheMisses:       reg.Counter("scan_cache_misses_total"),
 		cacheEvictions:    reg.Counter("scan_cache_evictions_total"),
+		quarantined:       reg.Gauge("scan_quarantined_shards"),
 		shardSeconds:      reg.Histogram("scan_shard_seconds", nil),
 	}
 }
@@ -268,6 +271,12 @@ dispatch:
 		default:
 			res.Findings = append(res.Findings, rec.Findings...)
 		}
+	}
+	if mets != nil {
+		// Gauge, not counter: the CLI report's quarantine count for THIS
+		// scan, resumed quarantine records included, readable from any
+		// metrics scrape instead of only the process stdout.
+		mets.quarantined.Set(float64(len(res.Quarantined)))
 	}
 	if err := ctx.Err(); err != nil && res.Completed < plan.NumShards {
 		res.Interrupted = true

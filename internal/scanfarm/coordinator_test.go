@@ -158,9 +158,42 @@ func TestFarmQuarantinesPoisonShard(t *testing.T) {
 		t.Fatalf("lost findings outside quarantined shards:\ngot  %v\nwant %v", res.Findings, want)
 	}
 
-	// The quarantine is visible in telemetry.
+	// The quarantine is visible in telemetry: the per-run gauge matches
+	// the CLI report, and the terminal-state counter agrees.
 	if got := counterValue(t, reg, "scan_shards_total", "state", "quarantined"); got != float64(len(res.Quarantined)) {
 		t.Fatalf("scan_shards_total{state=quarantined} = %v, want %d", got, len(res.Quarantined))
+	}
+	if got := counterValue(t, reg, "scan_quarantined_shards"); got != float64(len(res.Quarantined)) {
+		t.Fatalf("scan_quarantined_shards = %v, want %d", got, len(res.Quarantined))
+	}
+
+	// A resumed run carries the quarantine records forward, and the
+	// gauge reflects them even though no shard ran this time.
+	completed := map[int]ShardRecord{}
+	for _, q := range res.Quarantined {
+		completed[q.ShardID] = ShardRecord{
+			ShardID: q.ShardID, State: ShardQuarantined, Attempts: q.Attempts, Err: q.Err,
+		}
+	}
+	plan2 := NewPlan(chip.Bounds(), cfg)
+	for id := 0; id < plan2.NumShards; id++ {
+		if _, ok := completed[id]; !ok {
+			completed[id] = ShardRecord{ShardID: id, State: ShardDone}
+		}
+	}
+	cfg2 := cfg
+	reg2 := telemetry.NewRegistry()
+	cfg2.Metrics = reg2
+	cfg2.Completed = completed
+	res2, err := Run(context.Background(), chip, &poisonDetector{inner: inner}, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed != res2.Shards {
+		t.Fatalf("resume ran shards: resumed %d of %d", res2.Resumed, res2.Shards)
+	}
+	if got := counterValue(t, reg2, "scan_quarantined_shards"); got != float64(len(res.Quarantined)) {
+		t.Fatalf("resumed scan_quarantined_shards = %v, want %d", got, len(res.Quarantined))
 	}
 }
 
